@@ -1,0 +1,368 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// (DESIGN.md's experiment index). Model-level benchmarks report the
+// reproduced quantity as a custom metric; functional benchmarks run the
+// packet-level machine simulation and report simulated time and
+// efficiency. Raw numeric kernels (the host-side cost of the reference
+// operators) are benchmarked at the bottom.
+//
+// Run: go test -bench=. -benchmem
+package qcdoc_test
+
+import (
+	"testing"
+
+	"qcdoc/internal/core"
+	"qcdoc/internal/cost"
+	"qcdoc/internal/event"
+	"qcdoc/internal/experiments"
+	"qcdoc/internal/fermion"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/hmc"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/machine"
+	"qcdoc/internal/memsys"
+	"qcdoc/internal/node"
+	"qcdoc/internal/perf"
+	"qcdoc/internal/qmp"
+	"qcdoc/internal/scu"
+	"qcdoc/internal/solver"
+)
+
+// --- E1: solver efficiencies (model) -------------------------------------
+
+func BenchmarkE1DiracEfficiency(b *testing.B) {
+	grid := lattice.Shape4{4, 4, 4, 2} // 128 nodes
+	paper := map[fermion.OpKind]float64{
+		fermion.WilsonKind: 0.40,
+		fermion.AsqtadKind: 0.38,
+		fermion.CloverKind: 0.465,
+	}
+	for _, k := range fermion.Kinds() {
+		b.Run(k.String(), func(b *testing.B) {
+			var eff float64
+			for i := 0; i < b.N; i++ {
+				eff = perf.CGIteration(perf.DefaultConfig(k, grid, 500*event.MHz)).Efficiency
+			}
+			b.ReportMetric(100*eff, "%peak")
+			if p, ok := paper[k]; ok {
+				b.ReportMetric(100*p, "%paper")
+			}
+		})
+	}
+}
+
+// BenchmarkE1FunctionalWilson runs a real distributed CG on a simulated
+// 16-node machine (4^4 local volume) and reports the measured machine
+// efficiency. One solve per benchmark iteration — expect seconds of host
+// time each.
+func BenchmarkE1FunctionalWilson(b *testing.B) {
+	global := lattice.Shape4{8, 8, 8, 8}
+	gauge := lattice.NewGaugeField(global)
+	gauge.Randomize(1)
+	rhs := lattice.NewFermionField(global)
+	rhs.Gaussian(2)
+	var eff float64
+	var simNS float64
+	for i := 0; i < b.N; i++ {
+		sess, err := core.NewSession(geom.MakeShape(2, 2, 2, 2), global)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, met, err := sess.SolveWilson(gauge, rhs, 0.5, fermion.Double, 1e-4, 100)
+		sess.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = met.Efficiency
+		simNS = float64(met.SimTime) / 1000 / float64(met.Iterations)
+	}
+	b.ReportMetric(100*eff, "%peak")
+	b.ReportMetric(simNS, "sim-ns/iter")
+	b.ReportMetric(40, "%paper")
+}
+
+// --- E2: DDR spill --------------------------------------------------------
+
+func BenchmarkE2DDRSpill(b *testing.B) {
+	grid := lattice.Shape4{4, 4, 4, 2}
+	var edram, ddr float64
+	for i := 0; i < b.N; i++ {
+		cfg := perf.DefaultConfig(fermion.WilsonKind, grid, 500*event.MHz)
+		edram = perf.CGIteration(cfg).Efficiency
+		cfg.Local = lattice.Shape4{8, 8, 8, 8}
+		ddr = perf.CGIteration(cfg).Efficiency
+	}
+	b.ReportMetric(100*edram, "%edram")
+	b.ReportMetric(100*ddr, "%ddr")
+	b.ReportMetric(30, "%paper-ddr")
+}
+
+// --- E3: precision ---------------------------------------------------------
+
+func BenchmarkE3Precision(b *testing.B) {
+	grid := lattice.Shape4{4, 4, 4, 2}
+	var dp, sp float64
+	for i := 0; i < b.N; i++ {
+		cfg := perf.DefaultConfig(fermion.WilsonKind, grid, 500*event.MHz)
+		dp = perf.CGIteration(cfg).Efficiency
+		cfg.Prec = fermion.Single
+		sp = perf.CGIteration(cfg).Efficiency
+	}
+	b.ReportMetric(100*dp, "%double")
+	b.ReportMetric(100*sp, "%single")
+}
+
+// --- E4: nearest-neighbour latency (functional) ----------------------------
+
+func BenchmarkE4Latency(b *testing.B) {
+	var lat event.Time
+	for i := 0; i < b.N; i++ {
+		eng := event.New()
+		m := machine.Build(eng, machine.DefaultConfig(geom.MakeShape(2)))
+		if err := m.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		start := eng.Now()
+		err := m.RunSPMD("lat", func(rank int) node.Program {
+			return func(ctx *node.Ctx) {
+				n := ctx.N
+				if rank == 0 {
+					a := n.AllocWords(1)
+					n.Mem.WriteWord(a, 42)
+					if _, err := n.SCU.StartSend(geom.Link{Dim: 0, Dir: geom.Fwd}, scu.Contiguous(a, 1)); err != nil {
+						panic(err)
+					}
+				} else {
+					a := n.AllocWords(1)
+					rt, err := n.SCU.StartRecv(geom.Link{Dim: 0, Dir: geom.Bwd}, scu.Contiguous(a, 1))
+					if err != nil {
+						panic(err)
+					}
+					rt.Wait(ctx.P)
+					lat = rt.Finished() - start
+				}
+			}
+		})
+		eng.Shutdown()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(lat)/1000, "sim-ns")
+	b.ReportMetric(600, "paper-ns")
+}
+
+// --- E5: global sum single vs doubled (functional) --------------------------
+
+func benchGsum(b *testing.B, doubled bool) {
+	var elapsed event.Time
+	for i := 0; i < b.N; i++ {
+		eng := event.New()
+		m := machine.Build(eng, machine.DefaultConfig(geom.MakeShape(8)))
+		if err := m.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		fold := geom.IdentityFold(m.Cfg.Shape)
+		start := eng.Now()
+		var end event.Time
+		err := m.RunSPMD("gsum", func(rank int) node.Program {
+			return func(ctx *node.Ctx) {
+				c := qmp.New(ctx, fold)
+				if doubled {
+					c.GlobalSumFloat64Doubled(ctx.P, 1)
+				} else {
+					c.GlobalSumFloat64(ctx.P, 1)
+				}
+				if ctx.P.Now() > end {
+					end = ctx.P.Now()
+				}
+			}
+		})
+		eng.Shutdown()
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed = end - start
+	}
+	b.ReportMetric(float64(elapsed)/1000, "sim-ns")
+}
+
+func BenchmarkE5GlobalSumSingle(b *testing.B)  { benchGsum(b, false) }
+func BenchmarkE5GlobalSumDoubled(b *testing.B) { benchGsum(b, true) }
+
+// --- E6: bandwidths ---------------------------------------------------------
+
+func BenchmarkE6Bandwidth(b *testing.B) {
+	var agg, edram float64
+	for i := 0; i < b.N; i++ {
+		agg = perf.AggregateLinkBandwidth(500 * event.MHz)
+		edram = memsys.DefaultModel().BusBandwidth(memsys.EDRAM)
+	}
+	b.ReportMetric(agg/1e9, "linkGB/s")
+	b.ReportMetric(edram/1e9, "edramGB/s")
+}
+
+// --- E7: packaging -----------------------------------------------------------
+
+func BenchmarkE7Packaging(b *testing.B) {
+	var p machine.Packaging
+	for i := 0; i < b.N; i++ {
+		p = machine.PackagingFor(1024, 500*event.MHz)
+	}
+	b.ReportMetric(p.PowerWatts/1000, "rack-kW")
+	b.ReportMetric(p.PeakTeraflops, "rack-Tflops")
+}
+
+// --- E9: price/performance ----------------------------------------------------
+
+func BenchmarkE9PricePerf(b *testing.B) {
+	var pts []cost.PricePoint
+	for i := 0; i < b.N; i++ {
+		pts = cost.Paper4096Points()
+	}
+	b.ReportMetric(pts[2].Dollars, "$per-Mflops@450")
+	b.ReportMetric(pts[2].PaperSays, "paper$")
+}
+
+// --- E11: hard scaling ----------------------------------------------------------
+
+func BenchmarkE11HardScaling(b *testing.B) {
+	global := lattice.Shape4{32, 32, 32, 64}
+	grids := []lattice.Shape4{{8, 8, 8, 16}}
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		pts, err := perf.HardScaling(fermion.WilsonKind, global, grids, 500*event.MHz)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = pts[0].Estimate.Efficiency
+	}
+	b.ReportMetric(100*eff, "%peak@8192nodes")
+}
+
+// --- E15: DWF forecast -----------------------------------------------------------
+
+func BenchmarkE15DWF(b *testing.B) {
+	var dwf, clv float64
+	for i := 0; i < b.N; i++ {
+		dwf = perf.DslashEfficiency(fermion.DWFKind, fermion.Double, memsys.EDRAM, 500*event.MHz)
+		clv = perf.DslashEfficiency(fermion.CloverKind, fermion.Double, memsys.EDRAM, 500*event.MHz)
+	}
+	b.ReportMetric(100*dwf, "%dwf")
+	b.ReportMetric(100*clv, "%clover")
+}
+
+// --- Experiment table generation (ensures benchtables stays cheap) -----------
+
+func BenchmarkStaticTables(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Static()
+	}
+}
+
+// --- Raw numeric kernels (host performance of the reference operators) -------
+
+func benchGauge(b *testing.B) (*lattice.GaugeField, *lattice.FermionField, *lattice.FermionField) {
+	b.Helper()
+	l := lattice.Shape4{8, 8, 8, 8}
+	g := lattice.NewGaugeField(l)
+	g.Randomize(3)
+	src := lattice.NewFermionField(l)
+	src.Gaussian(4)
+	return g, src, lattice.NewFermionField(l)
+}
+
+func BenchmarkWilsonDslash(b *testing.B) {
+	g, src, dst := benchGauge(b)
+	w := fermion.NewWilson(g, 0.1)
+	sites := float64(g.L.Volume())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Apply(dst, src)
+	}
+	b.ReportMetric(fermion.FlopsPerSite(fermion.WilsonKind)*sites*float64(b.N)/b.Elapsed().Seconds()/1e6, "host-Mflops")
+}
+
+func BenchmarkCloverApply(b *testing.B) {
+	g, src, dst := benchGauge(b)
+	c := fermion.NewClover(g, 0.1, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Apply(dst, src)
+	}
+}
+
+func BenchmarkASQTADApply(b *testing.B) {
+	l := lattice.Shape4{8, 8, 8, 8}
+	g := lattice.NewGaugeField(l)
+	g.Randomize(5)
+	a := fermion.NewASQTAD(g, 0.1)
+	src := lattice.NewColorField(l)
+	src.Gaussian(6)
+	dst := lattice.NewColorField(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Apply(dst, src)
+	}
+}
+
+func BenchmarkDWFApply(b *testing.B) {
+	l := lattice.Shape4{4, 4, 4, 8}
+	g := lattice.NewGaugeField(l)
+	g.Randomize(7)
+	d := fermion.NewDWF(g, 1.8, 0.1, 8)
+	src := fermion.NewField5(l, 8)
+	src.Gaussian(8)
+	dst := fermion.NewField5(l, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Apply(dst, src)
+	}
+}
+
+func BenchmarkCGNEWilsonSolve(b *testing.B) {
+	l := lattice.Shape4{4, 4, 4, 4}
+	g := lattice.NewGaugeField(l)
+	g.Randomize(9)
+	w := fermion.NewWilson(g, 0.5)
+	rhs := lattice.NewFermionField(l)
+	rhs.Gaussian(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := lattice.NewFermionField(l)
+		if _, err := solver.SolveDirac(w, x, rhs, 1e-8, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeatbathSweep(b *testing.B) {
+	g := lattice.NewGaugeField(lattice.Shape4{4, 4, 4, 4})
+	h := &hmc.Heatbath{Beta: 5.6, Seed: 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Sweep(g)
+	}
+}
+
+func BenchmarkGlobalSumMachine(b *testing.B) {
+	// Host cost of simulating one machine-wide reduction on 16 nodes.
+	eng := event.New()
+	m := machine.Build(eng, machine.DefaultConfig(geom.MakeShape(4, 2, 2)))
+	if err := m.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Shutdown()
+	fold := geom.IdentityFold(m.Cfg.Shape)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := m.RunSPMD("gsum", func(rank int) node.Program {
+			return func(ctx *node.Ctx) {
+				qmp.New(ctx, fold).GlobalSumFloat64(ctx.P, 1)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

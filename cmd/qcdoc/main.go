@@ -1,0 +1,214 @@
+// Command qcdoc builds and drives simulated QCDOC machines.
+//
+// Usage:
+//
+//	qcdoc info -nodes 1024 -clock 500
+//	    packaging, power, cost and bandwidth summary
+//
+//	qcdoc solve -machine 2,2,2,2 -lattice 8,8,8,8 -op wilson -mass 0.5
+//	    boot a machine, run a distributed CG solve, report metrics
+//
+//	qcdoc scaling -lattice 32,32,32,64
+//	    hard-scaling table for a fixed global lattice
+//
+//	qcdoc estimate -op clover -grid 8,8,8,16 -local 4,4,4,4
+//	    analytic solver estimate for a paper-scale machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qcdoc/internal/core"
+	"qcdoc/internal/cost"
+	"qcdoc/internal/event"
+	"qcdoc/internal/fermion"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/machine"
+	"qcdoc/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "solve":
+		cmdSolve(os.Args[2:])
+	case "scaling":
+		cmdScaling(os.Args[2:])
+	case "estimate":
+		cmdEstimate(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qcdoc {info|solve|scaling|estimate} [flags]")
+	os.Exit(2)
+}
+
+func parseDims(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad dimension list %q\n", s)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseShape4(s string) lattice.Shape4 {
+	d := parseDims(s)
+	if len(d) != 4 {
+		fmt.Fprintf(os.Stderr, "need 4 extents, got %q\n", s)
+		os.Exit(2)
+	}
+	return lattice.Shape4{d[0], d[1], d[2], d[3]}
+}
+
+func opKind(s string) fermion.OpKind {
+	switch s {
+	case "wilson":
+		return fermion.WilsonKind
+	case "clover":
+		return fermion.CloverKind
+	case "asqtad":
+		return fermion.AsqtadKind
+	case "dwf":
+		return fermion.DWFKind
+	default:
+		fmt.Fprintf(os.Stderr, "unknown operator %q (wilson|clover|asqtad|dwf)\n", s)
+		os.Exit(2)
+		return 0
+	}
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	nodes := fs.Int("nodes", 1024, "machine size in nodes")
+	clock := fs.Int64("clock", 500, "clock in MHz")
+	fs.Parse(args)
+	hz := event.Hz(*clock) * event.MHz
+	p := machine.PackagingFor(*nodes, hz)
+	fmt.Println(p)
+	fmt.Printf("link payload bandwidth: %.1f MB/s per direction, %.2f GB/s aggregate\n",
+		perf.LinkPayloadBandwidth(hz)/1e6, perf.AggregateLinkBandwidth(hz)/1e9)
+	fmt.Printf("nearest-neighbour memory-to-memory latency: %v\n", perf.TransferTime(hz, 1))
+	if *nodes == 4096 {
+		fmt.Println("cost breakdown (the paper's 4096-node machine):")
+		fmt.Print(cost.FormatTable())
+		for _, pt := range cost.Paper4096Points() {
+			fmt.Printf("  $%.2f per sustained Mflops at %d MHz (paper: $%.2f)\n",
+				pt.Dollars, int64(pt.Clock)/1_000_000, pt.PaperSays)
+		}
+	}
+}
+
+func cmdSolve(args []string) {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	mshape := fs.String("machine", "2,2,2,2", "six-dimensional machine shape (comma separated)")
+	lat := fs.String("lattice", "8,8,8,8", "global lattice")
+	op := fs.String("op", "wilson", "operator: wilson|clover|asqtad|dwf")
+	mass := fs.Float64("mass", 0.5, "quark mass")
+	tol := fs.Float64("tol", 1e-6, "relative tolerance")
+	maxIter := fs.Int("maxiter", 500, "iteration limit")
+	ls := fs.Int("ls", 8, "fifth dimension (dwf)")
+	seed := fs.Uint64("seed", 1, "configuration seed")
+	fs.Parse(args)
+
+	shape := geom.MakeShape(parseDims(*mshape)...)
+	global := parseShape4(*lat)
+	sess, err := core.NewSession(shape, global)
+	fatal(err)
+	defer sess.Close()
+	fmt.Printf("machine %v (%d nodes) folded to grid %v, local volume %v\n",
+		shape, sess.M.NumNodes(), sess.Lay.Dec.Grid, sess.Lay.Dec.Local)
+
+	gauge := lattice.NewGaugeField(global)
+	gauge.Randomize(*seed)
+	var met core.SolveMetrics
+	switch opKind(*op) {
+	case fermion.WilsonKind:
+		b := lattice.NewFermionField(global)
+		b.Gaussian(*seed + 1)
+		_, met, err = sess.SolveWilson(gauge, b, *mass, fermion.Double, *tol, *maxIter)
+	case fermion.CloverKind:
+		ref := fermion.NewClover(gauge, *mass, 1.0)
+		b := lattice.NewFermionField(global)
+		b.Gaussian(*seed + 1)
+		_, met, err = sess.SolveClover(ref, b, fermion.Double, *tol, *maxIter)
+	case fermion.AsqtadKind:
+		ref := fermion.NewASQTAD(gauge, *mass)
+		b := lattice.NewColorField(global)
+		b.Gaussian(*seed + 1)
+		_, met, err = sess.SolveASQTAD(ref, b, fermion.Double, *tol, *maxIter)
+	case fermion.DWFKind:
+		b := fermion.NewField5(global, *ls)
+		b.Gaussian(*seed + 1)
+		_, met, err = sess.SolveDWF(gauge, b, 1.8, *mass, *ls, fermion.Double, *tol, *maxIter)
+	}
+	fatal(err)
+	fmt.Printf("converged in %d iterations (residual %.2g)\n", met.Iterations, met.RelResidual)
+	fmt.Printf("simulated time %v, %.1f Mflops/node sustained = %.1f%% of peak\n",
+		met.SimTime, met.SustainedPerNode/1e6, 100*met.Efficiency)
+	fmt.Printf("network: %d data words moved, %d resends\n", met.WordsSent, met.Resends)
+	if _, err := sess.M.VerifyChecksums(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("end-of-run link checksum audit: passed")
+}
+
+func cmdScaling(args []string) {
+	fs := flag.NewFlagSet("scaling", flag.ExitOnError)
+	lat := fs.String("lattice", "32,32,32,64", "global lattice")
+	op := fs.String("op", "wilson", "operator")
+	fs.Parse(args)
+	global := parseShape4(*lat)
+	grids := []lattice.Shape4{
+		{2, 2, 2, 4}, {4, 4, 4, 4}, {4, 4, 4, 16}, {8, 8, 8, 8}, {8, 8, 8, 16},
+	}
+	pts, err := perf.HardScaling(opKind(*op), global, grids, 500*event.MHz)
+	fatal(err)
+	fmt.Printf("%8s  %-12s  %-6s  %10s  %10s  %12s\n",
+		"nodes", "local", "level", "efficiency", "comm frac", "machine Gf")
+	for _, p := range pts {
+		fmt.Printf("%8d  %-12v  %-6v  %9.1f%%  %9.1f%%  %12.1f\n",
+			p.Nodes, p.Local, p.Estimate.Level, 100*p.Estimate.Efficiency,
+			100*p.CommFrac, p.Estimate.MachineGflop)
+	}
+}
+
+func cmdEstimate(args []string) {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	op := fs.String("op", "wilson", "operator")
+	grid := fs.String("grid", "8,8,8,16", "4-D process grid")
+	local := fs.String("local", "4,4,4,4", "local volume")
+	clock := fs.Int64("clock", 500, "clock MHz")
+	fs.Parse(args)
+	cfg := perf.DefaultConfig(opKind(*op), parseShape4(*grid), event.Hz(*clock)*event.MHz)
+	cfg.Local = parseShape4(*local)
+	est := perf.CGIteration(cfg)
+	fmt.Printf("%d nodes, local %v (%v resident)\n", est.Nodes, cfg.Local, est.Level)
+	fmt.Printf("per CG iteration: compute %v, halo %v (hidden: %v), reductions %v\n",
+		est.ComputeTime, est.CommRawTime, est.CommRawTime-est.CommTime, est.GsumTime)
+	fmt.Printf("sustained %.1f Mflops/node = %.1f%% of peak; machine %.1f Gflops\n",
+		est.Sustained/1e6, 100*est.Efficiency, est.MachineGflop)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qcdoc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Command qdaemon runs the host daemon with a qcsh command shell (§3.1)
+// against a simulated machine.
+//
+//	qdaemon -machine 2,2,2           # interactive qcsh REPL
+//	qdaemon -machine 2,2 -c "boot; run j1 demo; output j1"
+//
+// A demo program ("demo": every node prints its rank and performs a
+// machine-wide global sum) is preloaded.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/machine"
+	"qcdoc/internal/node"
+	"qcdoc/internal/qdaemon"
+	"qcdoc/internal/qmp"
+	"qcdoc/internal/qos"
+)
+
+func main() {
+	mshape := flag.String("machine", "2,2,2", "six-dimensional machine shape")
+	script := flag.String("c", "", "semicolon-separated commands (default: interactive)")
+	flag.Parse()
+
+	var dims []int
+	for _, f := range strings.Split(*mshape, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad machine shape %q\n", *mshape)
+			os.Exit(2)
+		}
+		dims = append(dims, v)
+	}
+	shape := geom.MakeShape(dims...)
+
+	eng := event.New()
+	m := machine.Build(eng, machine.DefaultConfig(shape))
+	if err := m.TrainLinks(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d := qdaemon.New(eng, m)
+	fold := geom.IdentityFold(shape)
+	d.LoadProgram("demo", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			k := qos.FromCtx(ctx)
+			c := qmp.New(ctx, fold)
+			total := c.GlobalSumFloat64(ctx.P, float64(rank))
+			k.Printf("rank %d sees machine sum %v", rank, total)
+		}
+	})
+	sh := &qdaemon.Qcsh{D: d}
+
+	exec := func(line string) {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			return
+		}
+		var out string
+		var err error
+		eng.Spawn("qcsh", func(p *event.Proc) { out, err = sh.Exec(p, line) })
+		if rerr := eng.RunAll(); rerr != nil {
+			fmt.Fprintln(os.Stderr, "engine:", rerr)
+			return
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+	}
+
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			exec(line)
+		}
+		return
+	}
+	fmt.Printf("qcsh connected to %d-node QCDOC (%v); type help\n", m.NumNodes(), shape)
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("qcsh> ")
+	for scanner.Scan() {
+		exec(scanner.Text())
+		fmt.Print("qcsh> ")
+	}
+}

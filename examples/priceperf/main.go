@@ -1,0 +1,44 @@
+// priceperf regenerates the paper's economics (§2.4, §4): the packaging
+// hierarchy from daughterboard to water-cooled rack, the 4096-node cost
+// table from the Columbia purchase orders, the $1.29/$1.10/$1.03 per
+// sustained Mflops points at the three demonstrated clock speeds, and
+// the abstract's "$1 per sustained Megaflops" target at full scale.
+package main
+
+import (
+	"fmt"
+
+	"qcdoc/internal/cost"
+	"qcdoc/internal/event"
+	"qcdoc/internal/machine"
+	"qcdoc/internal/perf"
+)
+
+func main() {
+	fmt.Println("Packaging (§2.4, Figures 3-5):")
+	for _, nodes := range []int{2, 64, 512, 1024, 4096, 12288} {
+		fmt.Printf("  %v\n", machine.PackagingFor(nodes, 500*event.MHz))
+	}
+
+	fmt.Println("\nCost of the 4096-node machine (§4):")
+	fmt.Print(cost.FormatTable())
+
+	fmt.Println("\nPrice/performance at 45% solver efficiency (§4):")
+	for _, p := range cost.Paper4096Points() {
+		sustained := perf.SustainedMachine(4096, p.Clock, 0.45)
+		fmt.Printf("  %3d MHz: %7.1f sustained Gflops -> $%.2f per Mflops (paper: $%.2f)\n",
+			int64(p.Clock)/1_000_000, sustained, p.Dollars, p.PaperSays)
+	}
+
+	fmt.Println("\nFull-scale 12,288-node machines (abstract's 10+ Tflops, $1/Mflops target):")
+	p := machine.PackagingFor(12288, 450*event.MHz)
+	fmt.Printf("  %v\n", p)
+	fmt.Printf("  sustained at 45%%: %.1f Gflops\n", perf.SustainedMachine(12288, 450*event.MHz, 0.45))
+	for _, disc := range []float64{0, 0.05, 0.10, 0.15} {
+		fmt.Printf("  with %2.0f%% volume discount: $%.3f per sustained Mflops\n",
+			100*disc, cost.Twelve288Estimate(450*event.MHz, disc))
+	}
+	watts, dpw := cost.PowerBudget(450 * event.MHz)
+	fmt.Printf("\nPower: the 4096-node machine draws %.1f kW ($%.0f per watt of infrastructure)\n",
+		watts/1000, dpw)
+}

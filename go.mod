@@ -1,0 +1,3 @@
+module qcdoc
+
+go 1.22

@@ -1,0 +1,123 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"qcdoc/internal/lattice"
+)
+
+func TestGaugeRoundTrip(t *testing.T) {
+	g := lattice.NewGaugeField(lattice.Shape4{2, 2, 2, 4})
+	g.Randomize(5)
+	var buf bytes.Buffer
+	if err := WriteGauge(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGauge(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(g) {
+		t.Fatal("round trip not bit-identical")
+	}
+}
+
+func TestFermionRoundTrip(t *testing.T) {
+	f := lattice.NewFermionField(lattice.Shape4{2, 2, 2, 2})
+	f.Gaussian(7)
+	var buf bytes.Buffer
+	if err := WriteFermion(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFermion(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.S {
+		if got.S[i] != f.S[i] {
+			t.Fatalf("site %d differs", i)
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	g := lattice.NewGaugeField(lattice.Shape4{2, 2, 2, 2})
+	g.Randomize(9)
+	var buf bytes.Buffer
+	if err := WriteGauge(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one payload bit.
+	data[100] ^= 0x10
+	_, err := ReadGauge(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestCorruptionDetectedQuick(t *testing.T) {
+	g := lattice.NewGaugeField(lattice.Shape4{2, 2, 2, 2})
+	g.Randomize(11)
+	var buf bytes.Buffer
+	if err := WriteGauge(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	f := func(pos uint16, bit uint8) bool {
+		data := append([]byte(nil), clean...)
+		i := int(pos) % len(data)
+		data[i] ^= 1 << (bit % 8)
+		_, err := ReadGauge(bytes.NewReader(data))
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := ReadGauge(bytes.NewReader(make([]byte, 64))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	f := lattice.NewFermionField(lattice.Shape4{2, 2, 2, 2})
+	var buf bytes.Buffer
+	if err := WriteFermion(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGauge(&buf); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGaugeCRCFingerprint(t *testing.T) {
+	a := lattice.NewGaugeField(lattice.Shape4{2, 2, 2, 2})
+	b := lattice.NewGaugeField(lattice.Shape4{2, 2, 2, 2})
+	a.Randomize(1)
+	b.Randomize(1)
+	if GaugeCRC(a) != GaugeCRC(b) {
+		t.Fatal("identical fields, different CRC")
+	}
+	b.Randomize(2)
+	if GaugeCRC(a) == GaugeCRC(b) {
+		t.Fatal("different fields, same CRC")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	g := lattice.NewGaugeField(lattice.Shape4{2, 2, 2, 2})
+	var buf bytes.Buffer
+	if err := WriteGauge(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadGauge(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"qcdoc/internal/fermion"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/latmath"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/node"
+	"qcdoc/internal/ppc440"
+	"qcdoc/internal/qmp"
+	"qcdoc/internal/scu"
+)
+
+// DistDWF is the distributed domain-wall operator: the 4-D Wilson-style
+// halo exchange repeated for each of the Ls fifth-dimension slices (the
+// fifth dimension stays node-local — QCDOC could also map it onto a
+// machine axis; see DESIGN.md's future-work list). The gauge field is
+// shared by all slices, which is the data reuse behind the DWF kernel's
+// high efficiency (§4).
+type DistDWF struct {
+	ctx  *node.Ctx
+	comm *qmp.Comm
+	dec  lattice.Decomp
+	G    *lattice.GaugeField
+	M5   float64
+	Mf   float64
+	Ls   int
+
+	siteCost ppc440.KernelCost
+	timing   bool
+
+	faces    [lattice.Ndim][2][]int
+	sendAddr [lattice.Ndim][2]uint64
+	recvAddr [lattice.Ndim][2]uint64
+	// ghosts indexed [s*faceVol + i].
+	ghostFwd [lattice.Ndim][]latmath.HalfSpinor
+	ghostBwd [lattice.Ndim][]latmath.HalfSpinor
+}
+
+// NewDistDWF builds the operator on one node.
+func NewDistDWF(ctx *node.Ctx, comm *qmp.Comm, dec lattice.Decomp, localGauge *lattice.GaugeField, m5, mf float64, ls int, prec fermion.Precision) *DistDWF {
+	d := &DistDWF{
+		ctx: ctx, comm: comm, dec: dec,
+		G: localGauge, M5: m5, Mf: mf, Ls: ls,
+	}
+	level := fermion.WorkingSetLevel(fermion.DWFKind, prec, dec.LocalVolume()*ls)
+	d.siteCost = fermion.DWFSiteCost(prec, level, ls)
+	d.timing = true
+	l := dec.Local
+	for mu := 0; mu < lattice.Ndim; mu++ {
+		if dec.Grid[mu] == 1 {
+			continue
+		}
+		fv := lattice.FaceVolume(l, mu)
+		words := ls * fv * latmath.HalfSpinorWords
+		for end := 0; end < 2; end++ {
+			d.faces[mu][end] = lattice.FaceSites(l, mu, end)
+			d.sendAddr[mu][end] = ctx.N.AllocWords(words)
+			d.recvAddr[mu][end] = ctx.N.AllocWords(words)
+		}
+		d.ghostFwd[mu] = make([]latmath.HalfSpinor, ls*fv)
+		d.ghostBwd[mu] = make([]latmath.HalfSpinor, ls*fv)
+	}
+	return d
+}
+
+// Name identifies the operator.
+func (d *DistDWF) Name() string { return "dist-dwf" }
+
+// SetTiming enables or disables the CPU charge.
+func (d *DistDWF) SetTiming(on bool) { d.timing = on }
+
+func (d *DistDWF) exchange(src *fermion.Field5) {
+	p := d.ctx.P
+	n := d.ctx.N
+	l := d.dec.Local
+	v4 := l.Volume()
+	var transfers []*scu.Transfer
+	var buf [latmath.HalfSpinorWords]uint64
+	for mu := 0; mu < lattice.Ndim; mu++ {
+		if d.dec.Grid[mu] == 1 {
+			continue
+		}
+		fv := len(d.faces[mu][0])
+		words := d.Ls * fv * latmath.HalfSpinorWords
+		rtF, err := d.comm.StartRecv(mu, geom.Fwd, scu.Contiguous(d.recvAddr[mu][1], words))
+		check(err)
+		rtB, err := d.comm.StartRecv(mu, geom.Bwd, scu.Contiguous(d.recvAddr[mu][0], words))
+		check(err)
+		transfers = append(transfers, rtF, rtB)
+		for s := 0; s < d.Ls; s++ {
+			for i, idx := range d.faces[mu][0] {
+				h := latmath.Project(mu, +1, src.S[s*v4+idx])
+				latmath.PackHalfSpinor(h, buf[:])
+				base := d.sendAddr[mu][0] + 8*uint64((s*fv+i)*latmath.HalfSpinorWords)
+				for k, w := range buf {
+					n.Mem.WriteWord(base+8*uint64(k), w)
+				}
+			}
+			for i, idx := range d.faces[mu][1] {
+				x := l.SiteOf(idx)
+				h := latmath.Project(mu, -1, src.S[s*v4+idx]).DagMulMat(d.G.Link(x, mu))
+				latmath.PackHalfSpinor(h, buf[:])
+				base := d.sendAddr[mu][1] + 8*uint64((s*fv+i)*latmath.HalfSpinorWords)
+				for k, w := range buf {
+					n.Mem.WriteWord(base+8*uint64(k), w)
+				}
+			}
+		}
+		stB, err := d.comm.StartSend(mu, geom.Bwd, scu.Contiguous(d.sendAddr[mu][0], words))
+		check(err)
+		stF, err := d.comm.StartSend(mu, geom.Fwd, scu.Contiguous(d.sendAddr[mu][1], words))
+		check(err)
+		transfers = append(transfers, stB, stF)
+	}
+	if d.timing {
+		n.Compute(p, d.siteCost.Scale(float64(v4*d.Ls)))
+	}
+	qmp.WaitAll(p, transfers...)
+	for mu := 0; mu < lattice.Ndim; mu++ {
+		if d.dec.Grid[mu] == 1 {
+			continue
+		}
+		fv := len(d.faces[mu][0])
+		for s := 0; s < d.Ls*fv; s++ {
+			base := d.recvAddr[mu][1] + 8*uint64(s*latmath.HalfSpinorWords)
+			for k := range buf {
+				buf[k] = n.Mem.ReadWord(base + 8*uint64(k))
+			}
+			d.ghostFwd[mu][s] = latmath.UnpackHalfSpinor(buf[:])
+			base = d.recvAddr[mu][0] + 8*uint64(s*latmath.HalfSpinorWords)
+			for k := range buf {
+				buf[k] = n.Mem.ReadWord(base + 8*uint64(k))
+			}
+			d.ghostBwd[mu][s] = latmath.UnpackHalfSpinor(buf[:])
+		}
+	}
+}
+
+// Apply computes dst = D src with halo exchange.
+func (d *DistDWF) Apply(dst, src *fermion.Field5) {
+	d.exchange(src)
+	l := d.dec.Local
+	v4 := l.Volume()
+	diag := complex(-d.M5+4+1, 0)
+	for s := 0; s < d.Ls; s++ {
+		for idx := 0; idx < v4; idx++ {
+			x := l.SiteOf(idx)
+			var acc latmath.Spinor
+			for mu := 0; mu < lattice.Ndim; mu++ {
+				distributed := d.dec.Grid[mu] > 1
+				fv := 0
+				if distributed {
+					fv = len(d.faces[mu][0])
+				}
+				if distributed && x[mu] == l[mu]-1 {
+					pos := facePos(d.faces[mu][1], idx)
+					h := d.ghostFwd[mu][s*fv+pos].MulMat(d.G.Link(x, mu))
+					acc = acc.Add(latmath.Reconstruct(mu, +1, h))
+				} else {
+					xp := l.Neighbor(x, mu, +1)
+					h := latmath.Project(mu, +1, src.S[s*v4+l.Index(xp)]).MulMat(d.G.Link(x, mu))
+					acc = acc.Add(latmath.Reconstruct(mu, +1, h))
+				}
+				if distributed && x[mu] == 0 {
+					pos := facePos(d.faces[mu][0], idx)
+					acc = acc.Add(latmath.Reconstruct(mu, -1, d.ghostBwd[mu][s*fv+pos]))
+				} else {
+					xm := l.Neighbor(x, mu, -1)
+					h := latmath.Project(mu, -1, src.S[s*v4+l.Index(xm)]).DagMulMat(d.G.Link(xm, mu))
+					acc = acc.Add(latmath.Reconstruct(mu, -1, h))
+				}
+			}
+			out := src.S[s*v4+idx].Scale(diag).Sub(acc.Scale(0.5))
+			if up := s + 1; up < d.Ls {
+				out = out.Sub(projMinus5(src.S[up*v4+idx]))
+			} else {
+				out = out.AXPY(complex(d.Mf, 0), projMinus5(src.S[0*v4+idx]))
+			}
+			if dn := s - 1; dn >= 0 {
+				out = out.Sub(projPlus5(src.S[dn*v4+idx]))
+			} else {
+				out = out.AXPY(complex(d.Mf, 0), projPlus5(src.S[(d.Ls-1)*v4+idx]))
+			}
+			dst.S[s*v4+idx] = out
+		}
+	}
+}
+
+// ApplyDag computes dst = D† src = R γ5 D γ5 R src.
+func (d *DistDWF) ApplyDag(dst, src *fermion.Field5) {
+	tmp := d.reflectGamma5(src)
+	mid := fermion.NewField5(d.dec.Local, d.Ls)
+	d.Apply(mid, tmp)
+	out := d.reflectGamma5(mid)
+	copy(dst.S, out.S)
+}
+
+func (d *DistDWF) reflectGamma5(f *fermion.Field5) *fermion.Field5 {
+	v4 := d.dec.Local.Volume()
+	out := fermion.NewField5(d.dec.Local, d.Ls)
+	for s := 0; s < d.Ls; s++ {
+		rs := d.Ls - 1 - s
+		for idx := 0; idx < v4; idx++ {
+			out.S[s*v4+idx] = latmath.Gamma5.ApplySpin(f.S[rs*v4+idx])
+		}
+	}
+	return out
+}
+
+func projPlus5(s latmath.Spinor) latmath.Spinor {
+	g5 := latmath.Gamma5.ApplySpin(s)
+	return s.Add(g5).Scale(0.5)
+}
+
+func projMinus5(s latmath.Spinor) latmath.Spinor {
+	g5 := latmath.Gamma5.ApplySpin(s)
+	return s.Sub(g5).Scale(0.5)
+}

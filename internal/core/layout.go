@@ -1,0 +1,162 @@
+// Package core is the application layer that runs lattice QCD on the
+// simulated QCDOC: it folds the six-dimensional machine onto the
+// four-dimensional physics grid (§1: "each processor becomes responsible
+// for the local variables associated with a space-time hypercube"),
+// scatters global fields into per-node local fields, runs distributed
+// Dirac operators whose halo exchanges and global sums travel through
+// the functional SCU network, charges the per-node compute model for
+// every kernel, and gathers results back for verification against the
+// single-node reference implementations.
+package core
+
+import (
+	"fmt"
+
+	"qcdoc/internal/geom"
+	"qcdoc/internal/lattice"
+)
+
+// Layout binds a global lattice to a machine: a fold of the 6-D torus
+// into four logical axes and the resulting decomposition.
+type Layout struct {
+	Fold *geom.Fold
+	Dec  lattice.Decomp
+}
+
+// NewLayout folds the machine to four dimensions (§2.2: "we chose to
+// make the mesh network six dimensional, so we can make lower-
+// dimensional partitions of the machine in software") and divides the
+// global lattice over the logical grid.
+func NewLayout(machineShape geom.Shape, global lattice.Shape4) (Layout, error) {
+	fold, err := FoldTo4D(machineShape)
+	if err != nil {
+		return Layout{}, err
+	}
+	ls := fold.Logical()
+	grid := lattice.Shape4{ls[0], ls[1], ls[2], ls[3]}
+	dec, err := lattice.NewDecomp(global, grid)
+	if err != nil {
+		return Layout{}, err
+	}
+	return Layout{Fold: fold, Dec: dec}, nil
+}
+
+// FoldTo4D builds a 4-D fold of a machine shape: the four largest
+// dimensions become axes and the remaining dimensions (extent > 1) are
+// folded into the first axes, fastest first.
+func FoldTo4D(machineShape geom.Shape) (*geom.Fold, error) {
+	// Collect dims with extent > 1, sorted by extent descending (stable
+	// by index).
+	type de struct{ dim, ext int }
+	var ds []de
+	for d := 0; d < geom.MaxDim; d++ {
+		if machineShape[d] > 1 {
+			ds = append(ds, de{d, machineShape[d]})
+		}
+	}
+	for i := 0; i < len(ds); i++ {
+		for j := i + 1; j < len(ds); j++ {
+			if ds[j].ext > ds[i].ext {
+				ds[i], ds[j] = ds[j], ds[i]
+			}
+		}
+	}
+	if len(ds) == 0 {
+		// Single-node machine: trivial 4-D grid 1x1x1x1.
+		return geom.NewFold(machineShape, [][]int{{0}, {1}, {2}, {3}})
+	}
+	axes := make([][]int, 0, 4)
+	for i := 0; i < len(ds) && i < 4; i++ {
+		axes = append(axes, []int{ds[i].dim})
+	}
+	// Extra dims fold into axes round-robin; the extra dim is FASTER (it
+	// comes first in the axis's dim list? The serpentine closure needs
+	// the slowest dim even; extents here are machine extents (usually
+	// powers of two). Put the extra dim first (fastest) to keep the
+	// original axis dim slowest.
+	for i := 4; i < len(ds); i++ {
+		a := (i - 4) % len(axes)
+		axes[a] = append([]int{ds[i].dim}, axes[a]...)
+	}
+	// Pad with unused extent-1 machine dims if the machine has fewer
+	// than four used dimensions.
+	used := map[int]bool{}
+	for _, dims := range axes {
+		for _, d := range dims {
+			used[d] = true
+		}
+	}
+	for d := 0; d < geom.MaxDim && len(axes) < 4; d++ {
+		if !used[d] && machineShape[d] == 1 {
+			axes = append(axes, []int{d})
+			used[d] = true
+		}
+	}
+	if len(axes) != 4 {
+		return nil, fmt.Errorf("core: cannot form a 4-D fold of %v", machineShape)
+	}
+	return geom.NewFold(machineShape, axes)
+}
+
+// GridCoord extracts the 4-D grid coordinate of a logical coordinate.
+func GridCoord(lc geom.Coord) lattice.Site {
+	return lattice.Site{lc[0], lc[1], lc[2], lc[3]}
+}
+
+// ScatterGauge extracts the local gauge field owned by grid node gc.
+func ScatterGauge(global *lattice.GaugeField, dec lattice.Decomp, gc lattice.Site) *lattice.GaugeField {
+	local := lattice.NewGaugeField(dec.Local)
+	v := dec.Local.Volume()
+	for idx := 0; idx < v; idx++ {
+		ls := dec.Local.SiteOf(idx)
+		gs := dec.GlobalOf(gc, ls)
+		for mu := 0; mu < lattice.Ndim; mu++ {
+			local.SetLink(ls, mu, global.Link(gs, mu))
+		}
+	}
+	return local
+}
+
+// ScatterFermion extracts the local spinor field owned by grid node gc.
+func ScatterFermion(global *lattice.FermionField, dec lattice.Decomp, gc lattice.Site) *lattice.FermionField {
+	local := lattice.NewFermionField(dec.Local)
+	v := dec.Local.Volume()
+	for idx := 0; idx < v; idx++ {
+		ls := dec.Local.SiteOf(idx)
+		gs := dec.GlobalOf(gc, ls)
+		local.S[idx] = global.S[global.L.Index(gs)]
+	}
+	return local
+}
+
+// GatherFermion writes a node's local spinor field into the global field.
+func GatherFermion(global *lattice.FermionField, dec lattice.Decomp, gc lattice.Site, local *lattice.FermionField) {
+	v := dec.Local.Volume()
+	for idx := 0; idx < v; idx++ {
+		ls := dec.Local.SiteOf(idx)
+		gs := dec.GlobalOf(gc, ls)
+		global.S[global.L.Index(gs)] = local.S[idx]
+	}
+}
+
+// ScatterColor extracts the local staggered field owned by grid node gc.
+func ScatterColor(global *lattice.ColorField, dec lattice.Decomp, gc lattice.Site) *lattice.ColorField {
+	local := lattice.NewColorField(dec.Local)
+	v := dec.Local.Volume()
+	for idx := 0; idx < v; idx++ {
+		ls := dec.Local.SiteOf(idx)
+		gs := dec.GlobalOf(gc, ls)
+		local.V[idx] = global.V[global.L.Index(gs)]
+	}
+	return local
+}
+
+// GatherColor writes a node's local staggered field into the global field.
+func GatherColor(global *lattice.ColorField, dec lattice.Decomp, gc lattice.Site, local *lattice.ColorField) {
+	v := dec.Local.Volume()
+	for idx := 0; idx < v; idx++ {
+		ls := dec.Local.SiteOf(idx)
+		gs := dec.GlobalOf(gc, ls)
+		global.V[global.L.Index(gs)] = local.V[idx]
+	}
+}

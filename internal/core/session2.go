@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"qcdoc/internal/fermion"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/node"
+	"qcdoc/internal/qmp"
+	"qcdoc/internal/solver"
+)
+
+// SolveClover runs a distributed CGNE solve of the clover-improved
+// operator. ref is the clover operator built on the global gauge field
+// (the clover term is a per-configuration precomputation).
+func (s *Session) SolveClover(ref *fermion.Clover, b *lattice.FermionField, prec fermion.Precision, tol float64, maxIter int) (*lattice.FermionField, SolveMetrics, error) {
+	dec := s.Lay.Dec
+	if ref.G.L != dec.Global || b.L != dec.Global {
+		return nil, SolveMetrics{}, fmt.Errorf("core: field shape mismatch")
+	}
+	solution := lattice.NewFermionField(dec.Global)
+	var met SolveMetrics
+	var firstErr error
+	start := s.Eng.Now()
+	runErr := s.M.RunSPMD("clover-cg", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			comm := qmp.New(ctx, s.Lay.Fold)
+			gc := GridCoord(comm.Coord())
+			localG := ScatterGauge(ref.G, dec, gc)
+			dc := NewDistClover(ctx, comm, dec, localG, ref, prec)
+			ss := DistSpace(ctx, comm, dec, fermion.CloverKind, prec)
+			x := lattice.NewFermionField(dec.Local)
+			res, err := solver.CGNE(distSpinorSpace(ss), dc.Apply, dc.ApplyDag, x, ScatterFermion(b, dec, gc), tol, maxIter)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			GatherFermion(solution, dec, gc, x)
+			if rank == 0 {
+				met.Iterations = res.Iterations
+				met.Applications = res.Applications
+				met.RelResidual = res.RelResidual
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, met, runErr
+	}
+	if firstErr != nil {
+		return solution, met, firstErr
+	}
+	met.SimTime = s.Eng.Now() - start
+	s.fillMetrics(&met, fermion.CloverKind, 1)
+	if _, err := s.M.VerifyChecksums(); err != nil {
+		return solution, met, err
+	}
+	return solution, met, nil
+}
+
+// SolveASQTAD runs a distributed CGNE solve of the ASQTAD staggered
+// operator. ref carries the globally precomputed fat and long links.
+func (s *Session) SolveASQTAD(ref *fermion.ASQTAD, b *lattice.ColorField, prec fermion.Precision, tol float64, maxIter int) (*lattice.ColorField, SolveMetrics, error) {
+	dec := s.Lay.Dec
+	if ref.G.L != dec.Global || b.L != dec.Global {
+		return nil, SolveMetrics{}, fmt.Errorf("core: field shape mismatch")
+	}
+	solution := lattice.NewColorField(dec.Global)
+	var met SolveMetrics
+	var firstErr error
+	start := s.Eng.Now()
+	runErr := s.M.RunSPMD("asqtad-cg", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			comm := qmp.New(ctx, s.Lay.Fold)
+			gc := GridCoord(comm.Coord())
+			da := NewDistASQTAD(ctx, comm, dec, ref, prec)
+			ss := DistSpace(ctx, comm, dec, fermion.AsqtadKind, prec)
+			x := lattice.NewColorField(dec.Local)
+			res, err := solver.CGNE(distColorSpace(ss), da.Apply, da.ApplyDag, x, ScatterColor(b, dec, gc), tol, maxIter)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			GatherColor(solution, dec, gc, x)
+			if rank == 0 {
+				met.Iterations = res.Iterations
+				met.Applications = res.Applications
+				met.RelResidual = res.RelResidual
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, met, runErr
+	}
+	if firstErr != nil {
+		return solution, met, firstErr
+	}
+	met.SimTime = s.Eng.Now() - start
+	s.fillMetrics(&met, fermion.AsqtadKind, 1)
+	if _, err := s.M.VerifyChecksums(); err != nil {
+		return solution, met, err
+	}
+	return solution, met, nil
+}
+
+// SolveDWF runs a distributed CGNE solve of the domain-wall operator.
+func (s *Session) SolveDWF(gauge *lattice.GaugeField, b *fermion.Field5, m5, mf float64, ls int, prec fermion.Precision, tol float64, maxIter int) (*fermion.Field5, SolveMetrics, error) {
+	dec := s.Lay.Dec
+	if gauge.L != dec.Global || b.L != dec.Global || b.Ls != ls {
+		return nil, SolveMetrics{}, fmt.Errorf("core: field shape mismatch")
+	}
+	solution := fermion.NewField5(dec.Global, ls)
+	var met SolveMetrics
+	var firstErr error
+	start := s.Eng.Now()
+	runErr := s.M.RunSPMD("dwf-cg", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			comm := qmp.New(ctx, s.Lay.Fold)
+			gc := GridCoord(comm.Coord())
+			localG := ScatterGauge(gauge, dec, gc)
+			dd := NewDistDWF(ctx, comm, dec, localG, m5, mf, ls, prec)
+			ss := DistSpace(ctx, comm, dec, fermion.DWFKind, prec)
+			// Linalg charges for DWF scale with Ls slices.
+			ss.axpyCharge = ss.axpyCharge.Scale(float64(ls))
+			ss.dotCharge = ss.dotCharge.Scale(float64(ls))
+			x := fermion.NewField5(dec.Local, ls)
+			res, err := solver.CGNE(distField5Space(ss, ls), dd.Apply, dd.ApplyDag, x, scatterField5(b, dec, gc), tol, maxIter)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			gatherField5(solution, dec, gc, x)
+			if rank == 0 {
+				met.Iterations = res.Iterations
+				met.Applications = res.Applications
+				met.RelResidual = res.RelResidual
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, met, runErr
+	}
+	if firstErr != nil {
+		return solution, met, firstErr
+	}
+	met.SimTime = s.Eng.Now() - start
+	s.fillMetrics(&met, fermion.DWFKind, ls)
+	if _, err := s.M.VerifyChecksums(); err != nil {
+		return solution, met, err
+	}
+	return solution, met, nil
+}
+
+// distColorSpace adapts solverSpace to staggered color fields.
+func distColorSpace(ss solverSpace) solver.Space[*lattice.ColorField] {
+	return solver.Space[*lattice.ColorField]{
+		New:  func() *lattice.ColorField { return lattice.NewColorField(ss.local) },
+		Copy: func(dst, src *lattice.ColorField) { copy(dst.V, src.V) },
+		Dot: func(a, b *lattice.ColorField) complex128 {
+			local := a.Dot(b)
+			re := ss.globalSum(real(local))
+			im := ss.globalSum(imag(local))
+			return complex(re, im)
+		},
+		Norm2: func(a *lattice.ColorField) float64 { return ss.globalSum(a.Norm2()) },
+		AXPY: func(y *lattice.ColorField, a complex128, x *lattice.ColorField) {
+			ss.chargeAXPY()
+			y.AXPY(a, x)
+		},
+		Scale: func(x *lattice.ColorField, a complex128) {
+			ss.chargeAXPY()
+			x.Scale(a)
+		},
+	}
+}
+
+// distField5Space adapts solverSpace to 5-D fields.
+func distField5Space(ss solverSpace, ls int) solver.Space[*fermion.Field5] {
+	return solver.Space[*fermion.Field5]{
+		New:  func() *fermion.Field5 { return fermion.NewField5(ss.local, ls) },
+		Copy: func(dst, src *fermion.Field5) { copy(dst.S, src.S) },
+		Dot: func(a, b *fermion.Field5) complex128 {
+			local := a.Dot(b)
+			re := ss.globalSum(real(local))
+			im := ss.globalSum(imag(local))
+			return complex(re, im)
+		},
+		Norm2: func(a *fermion.Field5) float64 { return ss.globalSum(a.Norm2()) },
+		AXPY: func(y *fermion.Field5, a complex128, x *fermion.Field5) {
+			ss.chargeAXPY()
+			y.AXPY(a, x)
+		},
+		Scale: func(x *fermion.Field5, a complex128) {
+			ss.chargeAXPY()
+			x.Scale(a)
+		},
+	}
+}
+
+// scatterField5 extracts a node's local 5-D field.
+func scatterField5(global *fermion.Field5, dec lattice.Decomp, gc lattice.Site) *fermion.Field5 {
+	local := fermion.NewField5(dec.Local, global.Ls)
+	v4l := dec.Local.Volume()
+	v4g := dec.Global.Volume()
+	for s := 0; s < global.Ls; s++ {
+		for idx := 0; idx < v4l; idx++ {
+			gs := dec.GlobalOf(gc, dec.Local.SiteOf(idx))
+			local.S[s*v4l+idx] = global.S[s*v4g+dec.Global.Index(gs)]
+		}
+	}
+	return local
+}
+
+// gatherField5 writes a node's local 5-D field into the global one.
+func gatherField5(global *fermion.Field5, dec lattice.Decomp, gc lattice.Site, local *fermion.Field5) {
+	v4l := dec.Local.Volume()
+	v4g := dec.Global.Volume()
+	for s := 0; s < local.Ls; s++ {
+		for idx := 0; idx < v4l; idx++ {
+			gs := dec.GlobalOf(gc, dec.Local.SiteOf(idx))
+			global.S[s*v4g+dec.Global.Index(gs)] = local.S[s*v4l+idx]
+		}
+	}
+}

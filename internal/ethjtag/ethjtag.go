@@ -1,0 +1,254 @@
+// Package ethjtag models QCDOC's management plane (§2.3, Figure 2's
+// green network): the standard Ethernet that connects every node (via
+// the daughterboard and motherboard 5-port hubs) to the host and disks,
+// and the second, software-free Ethernet/JTAG path — circuitry that
+// decodes UDP packets carrying JTAG commands and drives the ASIC's JTAG
+// controller directly, so code can be loaded into a PROM-less node and a
+// failing node can be probed even when no software runs on it.
+package ethjtag
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"qcdoc/internal/event"
+)
+
+// Addr is an Ethernet endpoint address.
+type Addr uint32
+
+// Well-known addresses.
+const (
+	// Broadcast delivers to every attached port except the sender.
+	Broadcast Addr = 0xFFFFFFFF
+	// HostAddr is the SMP host.
+	HostAddr Addr = 1
+	// NodeAddrBase: node rank r has Ethernet address NodeAddrBase+2r and
+	// JTAG address NodeAddrBase+2r+1 (two connections per ASIC, §2.3).
+	NodeAddrBase Addr = 0x1000
+)
+
+// NodeEthAddr returns the standard-Ethernet address of node rank r.
+func NodeEthAddr(rank int) Addr { return NodeAddrBase + Addr(2*rank) }
+
+// NodeJTAGAddr returns the Ethernet/JTAG address of node rank r.
+func NodeJTAGAddr(rank int) Addr { return NodeAddrBase + Addr(2*rank) + 1 }
+
+// UDP ports of the protocols riding the management network.
+const (
+	PortJTAG uint16 = 0x5A5A // Ethernet/JTAG controller
+	PortBoot uint16 = 69     // run-kernel load
+	PortRPC  uint16 = 111    // host <-> kernel RPC (§3.1)
+	PortNFS  uint16 = 2049   // kernel NFS shim (§3.2)
+)
+
+// Packet is one UDP datagram on the management network.
+type Packet struct {
+	Src, Dst Addr
+	Port     uint16
+	Payload  []byte
+}
+
+// Link speeds (§2.3, §3.1).
+const (
+	NodeEthernetBps = 100_000_000   // 100 Mbit node controllers
+	HostEthernetBps = 1_000_000_000 // Gigabit host links
+)
+
+// frameOverheadBytes approximates Ethernet+IP+UDP framing.
+const frameOverheadBytes = 54
+
+// Network is the switched management Ethernet: a tree of 5-port hubs in
+// hardware, modelled as a store-and-forward switch with per-port
+// serialization and a fixed traversal latency.
+type Network struct {
+	eng     *event.Engine
+	ports   map[Addr]*Port
+	Latency event.Time
+	Dropped uint64 // packets to unknown destinations
+}
+
+// NewNetwork creates the management network.
+func NewNetwork(eng *event.Engine) *Network {
+	return &Network{eng: eng, ports: map[Addr]*Port{}, Latency: 10 * event.Microsecond}
+}
+
+// Port is one endpoint.
+type Port struct {
+	net       *Network
+	addr      Addr
+	bps       int64
+	rx        *event.Queue[Packet]
+	busyUntil event.Time
+	TxPackets uint64
+	RxPackets uint64
+}
+
+// Attach adds an endpoint with the given line rate in bits/second.
+func (n *Network) Attach(addr Addr, bps int64) *Port {
+	if _, dup := n.ports[addr]; dup {
+		panic(fmt.Sprintf("ethjtag: duplicate address %#x", addr))
+	}
+	p := &Port{
+		net:  n,
+		addr: addr,
+		bps:  bps,
+		rx:   event.NewQueue[Packet](n.eng, fmt.Sprintf("eth %#x", addr)),
+	}
+	n.ports[addr] = p
+	return p
+}
+
+// ErrNoRoute is returned for packets to unattached addresses.
+var ErrNoRoute = errors.New("ethjtag: no route to destination")
+
+// Send launches a packet; it serializes at the port's line rate and
+// arrives after the switch latency. Broadcast fans out to every other
+// port.
+func (p *Port) Send(pkt Packet) error {
+	pkt.Src = p.addr
+	bits := int64(len(pkt.Payload)+frameOverheadBytes) * 8
+	ser := event.Time(float64(bits) / float64(p.bps) * 1e12)
+	start := p.net.eng.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	p.busyUntil = start + ser
+	arrive := p.busyUntil + p.net.Latency
+	payload := append([]byte(nil), pkt.Payload...)
+	pkt.Payload = payload
+	p.TxPackets++
+	if pkt.Dst == Broadcast {
+		for addr, dst := range p.net.ports {
+			if addr == p.addr {
+				continue
+			}
+			dst := dst
+			cp := pkt
+			p.net.eng.At(arrive, func() { dst.deliver(cp) })
+		}
+		return nil
+	}
+	dst, ok := p.net.ports[pkt.Dst]
+	if !ok {
+		p.net.Dropped++
+		return fmt.Errorf("%w: %#x", ErrNoRoute, pkt.Dst)
+	}
+	p.net.eng.At(arrive, func() { dst.deliver(pkt) })
+	return nil
+}
+
+func (p *Port) deliver(pkt Packet) {
+	p.RxPackets++
+	p.rx.Put(pkt)
+}
+
+// Recv blocks until a packet arrives.
+func (p *Port) Recv(proc *event.Proc) Packet { return p.rx.Get(proc) }
+
+// TryRecv returns a packet if one is queued.
+func (p *Port) TryRecv() (Packet, bool) { return p.rx.TryGet() }
+
+// Addr returns the port's address.
+func (p *Port) Addr() Addr { return p.addr }
+
+// --- Ethernet/JTAG controller -------------------------------------------
+
+// JTAGOp is a JTAG command carried in a UDP payload.
+type JTAGOp byte
+
+const (
+	// OpLoadBoot writes one word of boot-kernel code (into the
+	// instruction cache of the real chip; into reserved low memory
+	// here).
+	OpLoadBoot JTAGOp = iota + 1
+	// OpStartBoot releases the CPU into the loaded boot kernel.
+	OpStartBoot
+	// OpWriteWord pokes node memory (RISCWatch-style debugging).
+	OpWriteWord
+	// OpReadWord peeks node memory; the reply carries the data.
+	OpReadWord
+	// OpStatus reads the node's lifecycle state.
+	OpStatus
+)
+
+// JTAG command payload: [op:1][addr:8][data:8] big-endian.
+const jtagCmdLen = 17
+
+// EncodeJTAG builds a command payload.
+func EncodeJTAG(op JTAGOp, addr, data uint64) []byte {
+	buf := make([]byte, jtagCmdLen)
+	buf[0] = byte(op)
+	binary.BigEndian.PutUint64(buf[1:9], addr)
+	binary.BigEndian.PutUint64(buf[9:17], data)
+	return buf
+}
+
+// DecodeJTAG parses a command payload.
+func DecodeJTAG(b []byte) (op JTAGOp, addr, data uint64, err error) {
+	if len(b) < jtagCmdLen {
+		return 0, 0, 0, errors.New("ethjtag: short JTAG command")
+	}
+	return JTAGOp(b[0]), binary.BigEndian.Uint64(b[1:9]), binary.BigEndian.Uint64(b[9:17]), nil
+}
+
+// JTAGTarget is the chip-side surface the controller drives: raw memory,
+// the boot loader, and the reset controls. It requires no software on
+// the node (§2.3: "requires no software to do the UDP packet decoding").
+type JTAGTarget interface {
+	ReadWord(addr uint64) uint64
+	WriteWord(addr uint64, w uint64)
+	LoadBootWord(addr uint64, w uint64)
+	StartBootKernel() error
+	StateCode() uint64
+}
+
+// JTAGController serves JTAG-over-UDP on a port. It is pure hardware: a
+// daemon process that answers every packet, alive from power-on.
+type JTAGController struct {
+	Port   *Port
+	Target JTAGTarget
+	Served uint64
+}
+
+// Start spawns the controller's service loop.
+func (c *JTAGController) Start(eng *event.Engine) {
+	eng.SpawnDaemon(fmt.Sprintf("jtag %#x", c.Port.addr), func(p *event.Proc) {
+		for {
+			pkt := c.Port.Recv(p)
+			if pkt.Port != PortJTAG {
+				continue // the JTAG connection answers only JTAG UDP (§2.3)
+			}
+			c.Served++
+			op, addr, data, err := DecodeJTAG(pkt.Payload)
+			reply := Packet{Dst: pkt.Src, Port: PortJTAG}
+			if err != nil {
+				reply.Payload = EncodeJTAG(0, 0, ^uint64(0))
+				_ = c.Port.Send(reply)
+				continue
+			}
+			switch op {
+			case OpLoadBoot:
+				c.Target.LoadBootWord(addr, data)
+				reply.Payload = EncodeJTAG(op, addr, 0)
+			case OpStartBoot:
+				var code uint64
+				if err := c.Target.StartBootKernel(); err != nil {
+					code = 1
+				}
+				reply.Payload = EncodeJTAG(op, 0, code)
+			case OpWriteWord:
+				c.Target.WriteWord(addr, data)
+				reply.Payload = EncodeJTAG(op, addr, 0)
+			case OpReadWord:
+				reply.Payload = EncodeJTAG(op, addr, c.Target.ReadWord(addr))
+			case OpStatus:
+				reply.Payload = EncodeJTAG(op, 0, c.Target.StateCode())
+			default:
+				reply.Payload = EncodeJTAG(0, 0, ^uint64(0))
+			}
+			_ = c.Port.Send(reply)
+		}
+	})
+}

@@ -1,0 +1,384 @@
+// Package event provides the discrete-event simulation core used by the
+// QCDOC machine model: a virtual clock with picosecond resolution, a
+// stable event queue, and cooperatively-scheduled simulation processes
+// built on goroutines with a single token of control (so no locking is
+// needed anywhere in the simulator's guts).
+//
+// The engine is deliberately sequential: the paper's machine is
+// self-synchronizing at the link level (§2.2), and a conservative,
+// deterministic scheduler is what makes the bit-identical reproducibility
+// experiment (E10) meaningful.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in simulated time, in picoseconds. Picoseconds make
+// every clock of interest exact: a 500 MHz processor cycle is 2000 ps, a
+// 40 MHz global clock tick is 25000 ps.
+type Time int64
+
+// Convenient durations (Time is also used for durations).
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Forever is a Time later than any practical simulation horizon.
+const Forever Time = 1<<63 - 1
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.6gns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Seconds converts a duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Hz is a clock frequency.
+type Hz int64
+
+// Common QCDOC clock rates (§2.1, §2.4, §4).
+const (
+	MHz Hz = 1_000_000
+	GHz Hz = 1000 * MHz
+)
+
+// Cycle returns the period of one clock cycle. Periods are exact for the
+// frequencies the simulator uses (factors of 1 THz).
+func (f Hz) Cycle() Time { return Time(int64(Second) / int64(f)) }
+
+// Cycles returns the duration of n clock cycles.
+func (f Hz) Cycles(n int64) Time { return Time(n) * f.Cycle() }
+
+// CyclesOf returns how many whole cycles fit in d.
+func (f Hz) CyclesOf(d Time) int64 { return int64(d) / int64(f.Cycle()) }
+
+// An item in the event queue.
+type item struct {
+	at  Time
+	seq uint64 // stable FIFO order among simultaneous events
+	fn  func()
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Engine is a discrete-event scheduler. All simulation activity —
+// scheduled callbacks and process resumptions — runs on the goroutine
+// that calls Run, one step at a time; processes hand control back and
+// forth through unbuffered channels, so engine and process code never run
+// concurrently and shared simulator state needs no locks.
+type Engine struct {
+	now        Time
+	events     eventHeap
+	seq        uint64
+	park       chan struct{} // a process signals here when it yields or exits
+	live       int           // processes that have started and not finished
+	blocked    map[*Proc]string
+	stopped    bool
+	terminated bool // Shutdown has been called; parked processes unwind
+}
+
+// New creates an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{
+		park:    make(chan struct{}),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at time t (clamped to now if in the past).
+// Events at equal times run in scheduling order.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, item{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// ErrStall is reported by Run when live processes remain but no event can
+// ever wake them — the simulated machine has deadlocked. The paper notes
+// that a node which stops communicating stalls the whole machine (§2.2);
+// the engine surfaces that as an explicit error naming the blocked
+// processes.
+type ErrStall struct {
+	At      Time
+	Blocked []string
+}
+
+func (e *ErrStall) Error() string {
+	return fmt.Sprintf("event: simulation stalled at %v with %d blocked processes %v",
+		e.At, len(e.Blocked), e.Blocked)
+}
+
+// Run executes events in time order until the queue is empty, the horizon
+// is passed, or Stop is called. If the queue drains while non-daemon
+// processes are still blocked, Run returns an *ErrStall naming them;
+// blocked daemons (link handlers, clock services) are normal quiescence.
+func (e *Engine) Run(until Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 {
+			names := make([]string, 0, len(e.blocked))
+			for p, what := range e.blocked {
+				if !p.daemon {
+					names = append(names, p.name+" ("+what+")")
+				}
+			}
+			if len(names) > 0 {
+				sort.Strings(names)
+				return &ErrStall{At: e.now, Blocked: names}
+			}
+			return nil
+		}
+		next := e.events[0]
+		if next.at > until {
+			e.now = until
+			return nil
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+	}
+	return nil
+}
+
+// RunAll runs with no horizon.
+func (e *Engine) RunAll() error { return e.Run(Forever) }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Proc is a simulation process: a goroutine that alternates with the
+// engine via an explicit control token. Process code may only touch
+// simulator state between its blocking calls (Sleep, Wait, queue Get),
+// which is safe because the engine is parked whenever the process runs.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+	daemon bool
+}
+
+// procKilled is the panic value used to unwind parked processes when the
+// engine shuts down.
+type procKilled struct{}
+
+// Spawn starts a new process executing fn. The process begins running at
+// the current simulated time (after already-queued events at that time).
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume // first activation comes through the event queue
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					panic(r)
+				}
+			}
+			p.done = true
+			e.live--
+			e.park <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.At(e.now, p.activate)
+	return p
+}
+
+// SpawnDaemon starts a process that is allowed to remain blocked when the
+// simulation quiesces — hardware service loops such as link receivers.
+// A drained event queue with only daemons blocked is a normal end of Run,
+// not a stall.
+func (e *Engine) SpawnDaemon(name string, fn func(*Proc)) *Proc {
+	p := e.Spawn(name, fn)
+	p.daemon = true
+	return p
+}
+
+// Shutdown unwinds every parked process so their goroutines exit. The
+// engine is unusable afterwards. Call it when a simulation (and its
+// machine full of daemon link handlers) is finished, particularly in
+// tests that build many machines.
+func (e *Engine) Shutdown() {
+	e.terminated = true
+	for len(e.blocked) > 0 {
+		for p := range e.blocked {
+			p.wake() // the process observes terminated inside yield and unwinds
+			break
+		}
+	}
+}
+
+// activate transfers control to the process until it yields or exits.
+// It runs as an event on the engine goroutine.
+func (p *Proc) activate() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.eng.park
+}
+
+// yield hands control back to the engine and blocks until reactivated.
+func (p *Proc) yield(reason string) {
+	if p.eng.terminated {
+		panic(procKilled{})
+	}
+	p.eng.blocked[p] = reason
+	p.eng.park <- struct{}{}
+	<-p.resume
+	delete(p.eng.blocked, p)
+	if p.eng.terminated {
+		panic(procKilled{})
+	}
+}
+
+// Name returns the process name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Sleep suspends the process for d of simulated time.
+func (p *Proc) Sleep(d Time) {
+	p.eng.After(d, p.wake)
+	p.yield("sleep")
+}
+
+// SleepUntil suspends the process until time t.
+func (p *Proc) SleepUntil(t Time) {
+	p.eng.At(t, p.wake)
+	p.yield("sleep")
+}
+
+func (p *Proc) wake() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.eng.park
+}
+
+// Gate is a broadcast condition: processes Wait on it; Fire wakes all
+// current waiters (at the current simulated time).
+type Gate struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewGate creates a gate on the engine.
+func NewGate(e *Engine) *Gate { return &Gate{eng: e} }
+
+// Wait suspends p until the next Fire.
+func (g *Gate) Wait(p *Proc, what string) {
+	g.waiters = append(g.waiters, p)
+	p.yield(what)
+}
+
+// Fire wakes every process currently waiting on the gate.
+func (g *Gate) Fire() {
+	ws := g.waiters
+	g.waiters = nil
+	for _, w := range ws {
+		g.eng.At(g.eng.now, w.wake)
+	}
+}
+
+// Waiting reports the number of processes parked on the gate.
+func (g *Gate) Waiting() int { return len(g.waiters) }
+
+// Queue is an unbounded FIFO of items with optional delivery delay; the
+// basic building block for modelled wires, mailboxes and DMA completion
+// notifications. Items become visible to Get only at their delivery time.
+type Queue[T any] struct {
+	eng    *Engine
+	name   string
+	items  []T
+	gate   Gate
+	closed bool
+}
+
+// NewQueue creates a queue on the engine.
+func NewQueue[T any](e *Engine, name string) *Queue[T] {
+	return &Queue[T]{eng: e, name: name, gate: Gate{eng: e}}
+}
+
+// Put makes item available immediately.
+func (q *Queue[T]) Put(item T) {
+	q.items = append(q.items, item)
+	q.gate.Fire()
+}
+
+// PutAfter makes item available d from now. Items put with different
+// delays are delivered in arrival-time order (ties broken by put order).
+func (q *Queue[T]) PutAfter(d Time, item T) {
+	q.eng.After(d, func() { q.Put(item) })
+}
+
+// TryGet removes and returns the head item if one is available now.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Get blocks the process until an item is available, then removes and
+// returns it. If several processes wait, wake order follows wait order.
+func (q *Queue[T]) Get(p *Proc) T {
+	for {
+		if item, ok := q.TryGet(); ok {
+			return item
+		}
+		q.gate.Wait(p, "recv "+q.name)
+	}
+}
+
+// Len reports how many items are currently available.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,387 @@
+package event
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		d    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2 * Nanosecond, "2ns"},
+		{600 * Nanosecond, "600ns"},
+		{3300 * Nanosecond, "3.3us"},
+		{10 * Millisecond, "10ms"},
+		{2 * Second, "2s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d ps -> %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestHzCycle(t *testing.T) {
+	if got := (500 * MHz).Cycle(); got != 2*Nanosecond {
+		t.Fatalf("500MHz cycle = %v", got)
+	}
+	if got := (40 * MHz).Cycle(); got != 25*Nanosecond {
+		t.Fatalf("40MHz cycle = %v", got)
+	}
+	if got := (500 * MHz).Cycles(300); got != 600*Nanosecond {
+		t.Fatalf("300 cycles = %v", got)
+	}
+	if got := (500 * MHz).CyclesOf(600 * Nanosecond); got != 300 {
+		t.Fatalf("CyclesOf = %d", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30*Nanosecond, func() { order = append(order, 3) })
+	e.At(10*Nanosecond, func() { order = append(order, 1) })
+	e.At(20*Nanosecond, func() { order = append(order, 2) })
+	// Simultaneous events keep scheduling order.
+	e.At(20*Nanosecond, func() { order = append(order, 22) })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 22, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestSimultaneousEventsStableQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		e := New()
+		count := int(n%32) + 2
+		var got []int
+		for i := 0; i < count; i++ {
+			i := i
+			e.At(5*Nanosecond, func() { got = append(got, i) })
+		}
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != i {
+				return false
+			}
+		}
+		return len(got) == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := New()
+	ran := false
+	e.At(100*Nanosecond, func() { ran = true })
+	if err := e.Run(50 * Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("event beyond horizon ran")
+	}
+	if e.Now() != 50*Nanosecond {
+		t.Fatalf("now = %v, want horizon", e.Now())
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event did not run after horizon lifted")
+	}
+}
+
+func TestPastEventClamped(t *testing.T) {
+	e := New()
+	var at Time
+	e.At(10*Nanosecond, func() {
+		e.At(5*Nanosecond, func() { at = e.Now() }) // in the past
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 10*Nanosecond {
+		t.Fatalf("past event ran at %v", at)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := New()
+	var wokeAt Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(42 * Nanosecond)
+		wokeAt = p.Now()
+		p.Sleep(8 * Nanosecond)
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != 42*Nanosecond {
+		t.Fatalf("woke at %v", wokeAt)
+	}
+	if e.Now() != 50*Nanosecond {
+		t.Fatalf("finished at %v", e.Now())
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := New()
+	var trace []string
+	mk := func(name string, d Time) {
+		e.Spawn(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(d)
+				trace = append(trace, name)
+			}
+		})
+	}
+	mk("a", 10*Nanosecond)
+	mk("b", 15*Nanosecond)
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Wakes at t=10(a), 15(b), 20(a), 30(both; b's wake was scheduled at
+	// t=15, before a's at t=20, so b runs first), 45(b).
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestQueueHandoff(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e, "q")
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10 * Nanosecond)
+			q.Put(i * 100)
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 100 || got[1] != 200 || got[2] != 300 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueuePutAfter(t *testing.T) {
+	e := New()
+	q := NewQueue[string](e, "wire")
+	var at Time
+	var item string
+	e.Spawn("rx", func(p *Proc) {
+		item = q.Get(p)
+		at = p.Now()
+	})
+	q.PutAfter(600*Nanosecond, "payload")
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if item != "payload" || at != 600*Nanosecond {
+		t.Fatalf("got %q at %v", item, at)
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e, "q")
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+	q.Put(7)
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	v, ok := q.TryGet()
+	if !ok || v != 7 {
+		t.Fatalf("TryGet = %d, %v", v, ok)
+	}
+}
+
+func TestGateBroadcast(t *testing.T) {
+	e := New()
+	g := NewGate(e)
+	woken := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Proc) {
+			g.Wait(p, "gate")
+			woken++
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(5 * Nanosecond)
+		if g.Waiting() != 4 {
+			t.Errorf("waiting = %d", g.Waiting())
+		}
+		g.Fire()
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 4 {
+		t.Fatalf("woken = %d", woken)
+	}
+}
+
+// TestStallDetection mirrors the paper's observation that one
+// non-communicating node stalls the machine: the engine reports which
+// processes are blocked instead of hanging.
+func TestStallDetection(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e, "never")
+	e.Spawn("starved", func(p *Proc) { q.Get(p) })
+	err := e.RunAll()
+	var stall *ErrStall
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v, want ErrStall", err)
+	}
+	if len(stall.Blocked) != 1 || stall.Blocked[0] != "starved (recv never)" {
+		t.Fatalf("blocked = %v", stall.Blocked)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n == 5 {
+			e.Stop()
+		}
+		e.After(Nanosecond, tick)
+	}
+	e.After(Nanosecond, tick)
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("ticks = %d", n)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := New()
+	var childRan bool
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(Nanosecond)
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(Nanosecond)
+			childRan = true
+		})
+		p.Sleep(10 * Nanosecond)
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child did not run")
+	}
+}
+
+func TestSleepUntil(t *testing.T) {
+	e := New()
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		p.SleepUntil(123 * Nanosecond)
+		at = p.Now()
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 123*Nanosecond {
+		t.Fatalf("woke at %v", at)
+	}
+}
+
+func TestDaemonQuiescence(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e, "service")
+	served := 0
+	e.SpawnDaemon("server", func(p *Proc) {
+		for {
+			q.Get(p)
+			served++
+		}
+	})
+	e.Spawn("client", func(p *Proc) {
+		p.Sleep(Nanosecond)
+		q.Put(1)
+		q.Put(2)
+		p.Sleep(Nanosecond)
+	})
+	// The daemon is still blocked on Get at the end; that is quiescence,
+	// not a stall.
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("daemon blocked at quiescence reported as error: %v", err)
+	}
+	if served != 2 {
+		t.Fatalf("served = %d", served)
+	}
+	e.Shutdown()
+}
+
+func TestStallStillDetectedWithDaemons(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e, "never")
+	e.SpawnDaemon("helper", func(p *Proc) { q.Get(p) })
+	e.Spawn("app", func(p *Proc) { q.Get(p) })
+	err := e.RunAll()
+	var stall *ErrStall
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(stall.Blocked) != 1 || stall.Blocked[0] != "app (recv never)" {
+		t.Fatalf("blocked = %v", stall.Blocked)
+	}
+	e.Shutdown()
+}
+
+func TestShutdownUnwindsProcs(t *testing.T) {
+	e := New()
+	cleaned := 0
+	for i := 0; i < 10; i++ {
+		e.SpawnDaemon("d", func(p *Proc) {
+			defer func() { cleaned++ }()
+			NewQueue[int](e, "q").Get(p) // blocks forever
+		})
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if cleaned != 10 {
+		t.Fatalf("cleaned = %d, want 10", cleaned)
+	}
+}

@@ -1,0 +1,338 @@
+// Package experiments reproduces every quantitative table and figure of
+// the paper's evaluation (§2.2 network numbers, §2.4 packaging, §4
+// performance and cost). Each experiment returns a structured table;
+// cmd/benchtables prints them all, the root bench_test.go wraps them as
+// benchmarks, and EXPERIMENTS.md records paper-vs-measured values. The
+// experiment ids match DESIGN.md's index.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"qcdoc/internal/cost"
+	"qcdoc/internal/event"
+	"qcdoc/internal/fermion"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/machine"
+	"qcdoc/internal/memsys"
+	"qcdoc/internal/perf"
+	"qcdoc/internal/ppc440"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "  %-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// E1 reproduces §4's measured solver efficiencies: 128 nodes, 4^4 local
+// volume, double precision — Wilson 40%, ASQTAD 38%, clover 46.5%, plus
+// the DWF forecast. Model numbers; see E1Functional for the simulated-
+// machine measurement.
+func E1() Table {
+	grid := lattice.Shape4{4, 4, 4, 2} // 128 nodes
+	paper := map[fermion.OpKind]string{
+		fermion.WilsonKind: "40%",
+		fermion.AsqtadKind: "38%",
+		fermion.CloverKind: "46.5%",
+		fermion.DWFKind:    "> clover (forecast)",
+	}
+	t := Table{
+		ID:     "E1",
+		Title:  "CG solver efficiency, 128 nodes, 4^4 local volume, double precision (§4)",
+		Header: []string{"operator", "model dslash", "model CG", "paper"},
+		Notes: []string{
+			"Wilson/ASQTAD/clover anchors are calibration points (DESIGN.md §4); DWF, SP, DDR, scaling are predictions",
+		},
+	}
+	for _, k := range fermion.Kinds() {
+		cfg := perf.DefaultConfig(k, grid, 500*event.MHz)
+		est := perf.CGIteration(cfg)
+		ds := perf.DslashEfficiency(k, fermion.Double, memsys.EDRAM, 500*event.MHz)
+		t.Rows = append(t.Rows, []string{k.String(), pct(ds), pct(est.Efficiency), paper[k]})
+	}
+	return t
+}
+
+// E2 reproduces the DDR-spill behaviour: "for still larger volumes ...
+// the performance figures fall to the range of 30% of peak" (§4).
+func E2() Table {
+	grid := lattice.Shape4{4, 4, 4, 2}
+	t := Table{
+		ID:     "E2",
+		Title:  "Local-volume sweep: EDRAM residency vs DDR spill (Wilson CG, §4)",
+		Header: []string{"local volume", "working set", "level", "model CG eff", "paper"},
+	}
+	for _, lv := range []lattice.Shape4{{2, 2, 2, 2}, {4, 4, 4, 4}, {6, 6, 6, 6}, {8, 8, 8, 8}, {16, 8, 8, 8}} {
+		cfg := perf.DefaultConfig(fermion.WilsonKind, grid, 500*event.MHz)
+		cfg.Local = lv
+		est := perf.CGIteration(cfg)
+		ws := fermion.FieldBytesPerSite(fermion.WilsonKind, fermion.Double) * float64(lv.Volume())
+		note := ""
+		if est.Level == memsys.DDR {
+			note = "~30%"
+		} else if lv == (lattice.Shape4{4, 4, 4, 4}) {
+			note = "40%"
+		}
+		t.Rows = append(t.Rows, []string{
+			lv.String(), fmt.Sprintf("%.2f MB", ws/1e6), est.Level.String(), pct(est.Efficiency), note,
+		})
+	}
+	return t
+}
+
+// E3 reproduces the precision comparison: "performance for single
+// precision is slightly higher due to the decreased bandwidth to local
+// memory" (§4).
+func E3() Table {
+	grid := lattice.Shape4{4, 4, 4, 2}
+	t := Table{
+		ID:     "E3",
+		Title:  "Double vs single precision (§4)",
+		Header: []string{"operator", "double", "single", "paper"},
+	}
+	for _, k := range fermion.Kinds() {
+		dp := perf.CGIteration(perf.DefaultConfig(k, grid, 500*event.MHz))
+		cfg := perf.DefaultConfig(k, grid, 500*event.MHz)
+		cfg.Prec = fermion.Single
+		sp := perf.CGIteration(cfg)
+		t.Rows = append(t.Rows, []string{k.String(), pct(dp.Efficiency), pct(sp.Efficiency), "single slightly higher"})
+	}
+	return t
+}
+
+// E4 reproduces the latency numbers of §2.2: ~600 ns memory-to-memory
+// nearest neighbour, 24 words = 600 ns + 3.3 us, against 5-10 us just to
+// start an Ethernet transfer. Model values; E4Functional measures the
+// simulated hardware.
+func E4() Table {
+	clock := 500 * event.MHz
+	t := Table{
+		ID:     "E4",
+		Title:  "Nearest-neighbour transfer latency (§2.2)",
+		Header: []string{"transfer", "model", "paper"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"1 word memory-to-memory", perf.TransferTime(clock, 1).String(), "~600ns"},
+		[]string{"24 words total", perf.TransferTime(clock, 24).String(), "600ns + 3.3us"},
+		[]string{"Ethernet transfer startup", "5us - 10us", "5-10us"},
+	)
+	return t
+}
+
+// E5 reproduces the global-sum hop counts of §2.2:
+// Nx+Ny+Nz+Nt-4 hops, halved by the doubled SCU streams.
+func E5() Table {
+	clock := 500 * event.MHz
+	t := Table{
+		ID:     "E5",
+		Title:  "Global sum: hops and modelled latency (§2.2)",
+		Header: []string{"4-D grid", "hops single", "hops doubled", "latency single", "latency doubled"},
+		Notes: []string{
+			"hop formula: sum(N_i - 1), halved to sum(N_i / 2) in doubled mode (paper's Nx/2+Ny/2+Nz/2+Nt/2)",
+			"model uses the hardware's 8-bit cut-through; the functional simulator (E5 bench) forwards whole frames",
+		},
+	}
+	for _, g := range []lattice.Shape4{{4, 4, 4, 2}, {8, 4, 4, 4}, {8, 8, 8, 8}, {16, 8, 8, 12}} {
+		t.Rows = append(t.Rows, []string{
+			g.String(),
+			fmt.Sprint(perf.GsumHops(g, false)),
+			fmt.Sprint(perf.GsumHops(g, true)),
+			perf.GsumLatency(clock, g, false).String(),
+			perf.GsumLatency(clock, g, true).String(),
+		})
+	}
+	return t
+}
+
+// E6 reproduces the bandwidth table of §2.1-2.2.
+func E6() Table {
+	m := memsys.DefaultModel()
+	t := Table{
+		ID:     "E6",
+		Title:  "Bandwidths at 500 MHz (§2.1-2.2)",
+		Header: []string{"path", "model", "paper"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"CPU <-> EDRAM", fmt.Sprintf("%.1f GB/s", m.BusBandwidth(memsys.EDRAM)/1e9), "8 GB/s"},
+		[]string{"DDR SDRAM", fmt.Sprintf("%.1f GB/s", m.BusBandwidth(memsys.DDR)/1e9), "2.6 GB/s"},
+		[]string{"SCU aggregate (24 links)", fmt.Sprintf("%.2f GB/s", perf.AggregateLinkBandwidth(500*event.MHz)/1e9), "1.3 GB/s"},
+		[]string{"per link per direction", fmt.Sprintf("%.1f MB/s", perf.LinkPayloadBandwidth(500*event.MHz)/1e6), "(500 Mbit/s serial)"},
+	)
+	return t
+}
+
+// E7 reproduces the packaging and power hierarchy of §2.4 / Figures 3-5.
+func E7() Table {
+	t := Table{
+		ID:     "E7",
+		Title:  "Packaging, power and footprint (§2.4, Figures 3-5)",
+		Header: []string{"machine", "dboards", "mboards", "racks", "power", "peak", "paper"},
+	}
+	rows := []struct {
+		nodes int
+		clock event.Hz
+		paper string
+	}{
+		{64, 500 * event.MHz, "one motherboard, 2^6 hypercube"},
+		{1024, 500 * event.MHz, "1 rack, 1 Tflops peak, <10 kW"},
+		{4096, 450 * event.MHz, "4 racks, $1.6M machine"},
+		{12288, 450 * event.MHz, "12 racks, 10+ Tflops, ~60 ft^2"},
+	}
+	for _, r := range rows {
+		p := machine.PackagingFor(r.nodes, r.clock)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d nodes", r.nodes),
+			fmt.Sprint(p.Daughterboards),
+			fmt.Sprint(p.Motherboards),
+			fmt.Sprint(p.Racks),
+			fmt.Sprintf("%.1f kW", p.PowerWatts/1000),
+			fmt.Sprintf("%.2f Tflops", p.PeakTeraflops),
+			r.paper,
+		})
+	}
+	return t
+}
+
+// E8 reproduces the §4 cost table.
+func E8() Table {
+	t := Table{
+		ID:     "E8",
+		Title:  "4096-node machine cost (§4, Columbia purchase orders)",
+		Header: []string{"item", "dollars"},
+		Notes: []string{
+			fmt.Sprintf("items sum to $%.2f; the paper quotes $%.0f (a $%.2f line absorbed in prose) and $%.0f with prorated R&D",
+				cost.MachineCost4096(), cost.PaperMachineTotal,
+				cost.PaperMachineTotal-cost.MachineCost4096(), cost.PaperTotalWithRnD),
+		},
+	}
+	for _, it := range cost.Breakdown4096() {
+		t.Rows = append(t.Rows, []string{it.Name, fmt.Sprintf("$%.2f", it.Amount)})
+	}
+	t.Rows = append(t.Rows,
+		[]string{"total (paper)", fmt.Sprintf("$%.2f", cost.PaperMachineTotal)},
+		[]string{"prorated R&D", fmt.Sprintf("$%.2f", cost.RnDProration4096)},
+		[]string{"grand total", fmt.Sprintf("$%.2f", cost.TotalWithRnD4096())},
+	)
+	return t
+}
+
+// E9 reproduces the price/performance figures of §4.
+func E9() Table {
+	t := Table{
+		ID:     "E9",
+		Title:  "Price/performance, 4096 nodes, 45% efficiency (§4)",
+		Header: []string{"clock", "model $/Mflops", "paper"},
+	}
+	for _, p := range cost.Paper4096Points() {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d MHz", int64(p.Clock)/1_000_000),
+			fmt.Sprintf("$%.2f", p.Dollars),
+			fmt.Sprintf("$%.2f", p.PaperSays),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"12288 nodes @450, 10% volume discount",
+		fmt.Sprintf("$%.2f", cost.Twelve288Estimate(450*event.MHz, 0.10)),
+		"~$1 target",
+	})
+	return t
+}
+
+// E11 reproduces the hard-scaling motivation of §1: a fixed 32^3 x 64
+// lattice swept from 32 to 16384 nodes.
+func E11() Table {
+	global := lattice.Shape4{32, 32, 32, 64}
+	grids := []lattice.Shape4{
+		{2, 2, 2, 4}, {4, 4, 4, 4}, {4, 4, 4, 16}, {8, 8, 8, 8}, {8, 8, 8, 16}, {8, 8, 16, 16},
+	}
+	pts, err := perf.HardScaling(fermion.WilsonKind, global, grids, 500*event.MHz)
+	t := Table{
+		ID:     "E11",
+		Title:  "Hard scaling: Wilson CG on a fixed 32^3 x 64 lattice (§1)",
+		Header: []string{"nodes", "local volume", "level", "efficiency", "comm fraction", "machine Gflops"},
+		Notes: []string{
+			"the DDR->EDRAM residency jump between 256 and 1024 nodes is the §4 spill effect in reverse",
+			"8192 nodes = the paper's 4^4-local design point",
+		},
+	}
+	if err != nil {
+		t.Notes = append(t.Notes, "error: "+err.Error())
+		return t
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Nodes), p.Local.String(), p.Estimate.Level.String(),
+			pct(p.Estimate.Efficiency), pct(p.CommFrac), fmt.Sprintf("%.1f", p.Estimate.MachineGflop),
+		})
+	}
+	return t
+}
+
+// E15 reproduces the DWF forecast of §4 ("we expect [domain wall
+// fermions] will surpass the performance of the clover improved Wilson
+// operator") with an Ls sweep showing the gauge-reuse mechanism.
+func E15() Table {
+	t := Table{
+		ID:     "E15",
+		Title:  "Domain-wall fermions vs clover (§4 forecast)",
+		Header: []string{"operator", "Ls", "bytes/site-slice", "model dslash eff"},
+	}
+	clv := perf.DslashEfficiency(fermion.CloverKind, fermion.Double, memsys.EDRAM, 500*event.MHz)
+	t.Rows = append(t.Rows, []string{"clover", "-", fmt.Sprintf("%.0f", fermion.SiteCost(fermion.CloverKind, fermion.Double, memsys.EDRAM).Bytes()), pct(clv)})
+	cpu := perfCPU()
+	mm := memsys.DefaultModel()
+	for _, ls := range []int{4, 8, 16, 32} {
+		c := fermion.DWFSiteCost(fermion.Double, memsys.EDRAM, ls)
+		eff := cpu.Efficiency(c, mm)
+		t.Rows = append(t.Rows, []string{"dwf", fmt.Sprint(ls), fmt.Sprintf("%.0f", c.Bytes()), pct(eff)})
+	}
+	t.Notes = append(t.Notes, "larger Ls amortizes gauge-field traffic (the links serve every fifth-dimension slice)")
+	return t
+}
+
+// Static returns every experiment that needs no machine simulation.
+func Static() []Table {
+	return []Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E11(), E15()}
+}
+
+// perfCPU returns the 500 MHz CPU model (helper for sweeps).
+func perfCPU() ppc440.CPU { return ppc440.Default() }

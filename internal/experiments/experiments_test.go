@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct extracts a "NN.N%" cell.
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage cell %q", cell)
+	}
+	return v
+}
+
+func rowByFirstCell(t *testing.T, tab Table, name string) []string {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if r[0] == name {
+			return r
+		}
+	}
+	t.Fatalf("%s: no row %q", tab.ID, name)
+	return nil
+}
+
+func TestStaticTablesWellFormed(t *testing.T) {
+	for _, tab := range Static() {
+		if tab.ID == "" || tab.Title == "" {
+			t.Fatalf("table missing id/title: %+v", tab)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty", tab.ID)
+		}
+		for _, r := range tab.Rows {
+			if len(r) != len(tab.Header) {
+				t.Fatalf("%s: row width %d != header %d", tab.ID, len(r), len(tab.Header))
+			}
+		}
+		if out := tab.Format(); !strings.Contains(out, tab.ID) {
+			t.Fatalf("%s: Format lost the id", tab.ID)
+		}
+	}
+}
+
+func TestE1Anchors(t *testing.T) {
+	tab := E1()
+	cases := map[string][2]float64{
+		"wilson": {39, 42},
+		"asqtad": {37, 39.5},
+		"clover": {45.5, 48},
+	}
+	for name, bounds := range cases {
+		r := rowByFirstCell(t, tab, name)
+		eff := parsePct(t, r[2])
+		if eff < bounds[0] || eff > bounds[1] {
+			t.Errorf("%s model CG = %v%%, want in [%v, %v]", name, eff, bounds[0], bounds[1])
+		}
+	}
+	dwf := parsePct(t, rowByFirstCell(t, tab, "dwf")[2])
+	clv := parsePct(t, rowByFirstCell(t, tab, "clover")[2])
+	if dwf <= clv {
+		t.Errorf("dwf %v%% not above clover %v%%", dwf, clv)
+	}
+}
+
+func TestE2SpillRow(t *testing.T) {
+	tab := E2()
+	r := rowByFirstCell(t, tab, "8x8x8x8")
+	if r[2] != "DDR" {
+		t.Fatalf("8^4 level = %s", r[2])
+	}
+	if eff := parsePct(t, r[3]); eff < 27 || eff > 33 {
+		t.Fatalf("8^4 efficiency %v%%, want ~30%%", eff)
+	}
+	small := rowByFirstCell(t, tab, "4x4x4x4")
+	if small[2] != "EDRAM" {
+		t.Fatal("4^4 should be EDRAM")
+	}
+}
+
+func TestE5HopFormula(t *testing.T) {
+	tab := E5()
+	// 8x8x8x8: 28 single, 16 doubled (the paper's formulas).
+	r := rowByFirstCell(t, tab, "8x8x8x8")
+	if r[1] != "28" || r[2] != "16" {
+		t.Fatalf("hops = %s/%s", r[1], r[2])
+	}
+}
+
+func TestE9MatchesPaper(t *testing.T) {
+	tab := E9()
+	for _, r := range tab.Rows[:3] {
+		model := strings.TrimPrefix(r[1], "$")
+		paper := strings.TrimPrefix(r[2], "$")
+		mv, _ := strconv.ParseFloat(model, 64)
+		pv, _ := strconv.ParseFloat(paper, 64)
+		if diff := mv - pv; diff > 0.005 || diff < -0.005 {
+			t.Errorf("%s: $%v vs paper $%v", r[0], mv, pv)
+		}
+	}
+}
+
+func TestFunctionalSmall(t *testing.T) {
+	// The cheap functional experiments run end to end in tests; the
+	// expensive solver sweep (E1f) runs under cmd/benchtables and the
+	// root benchmarks.
+	if testing.Short() {
+		t.Skip("functional experiments")
+	}
+	for _, f := range []struct {
+		name string
+		run  func() (Table, error)
+	}{
+		{"E4f", E4Functional},
+		{"E5f", E5Functional},
+		{"E13", E13},
+	} {
+		tab, err := f.run()
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty", f.name)
+		}
+	}
+}

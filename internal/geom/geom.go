@@ -1,0 +1,318 @@
+// Package geom provides the six-dimensional torus geometry that underlies
+// the QCDOC machine: coordinates, lexicographic ranking, nearest-neighbour
+// link enumeration, and the software partitioning and dimension-folding
+// rules of the paper's §2.2 and §3.1 (lower-dimensional machine partitions
+// are carved from the native six-dimensional mesh without moving cables).
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxDim is the dimensionality of the QCDOC mesh network. The paper fixes
+// it at six: large enough to fold four- and five-dimensional physics
+// problems onto, small enough to cable on a motherboard (12 neighbours).
+const MaxDim = 6
+
+// NumLinks is the number of uni-directional nearest-neighbour connections
+// per node: 2 directions × MaxDim dimensions, each carrying concurrent
+// sends and receives (24 independent connections in the SCU's terms; a
+// "link" here is one (dim, dir) pair used for both a send and a receive
+// channel).
+const NumLinks = 2 * MaxDim
+
+// Shape gives the extent of a torus in each of the six dimensions.
+// Unused dimensions have extent 1.
+type Shape [MaxDim]int
+
+// Coord is a point on a six-dimensional torus. Each component c[d]
+// satisfies 0 <= c[d] < shape[d].
+type Coord [MaxDim]int
+
+// Dir is a direction along a dimension: +1 (forward) or -1 (backward).
+type Dir int
+
+const (
+	// Fwd is the positive direction along a dimension.
+	Fwd Dir = +1
+	// Bwd is the negative direction along a dimension.
+	Bwd Dir = -1
+)
+
+// MakeShape builds a Shape from the given extents, padding the remaining
+// dimensions with 1. It panics if more than MaxDim extents are given or
+// any extent is < 1; shapes are almost always literals in configuration
+// code, so this is an assembly-time error.
+func MakeShape(extents ...int) Shape {
+	if len(extents) > MaxDim {
+		panic(fmt.Sprintf("geom: %d extents exceed %d dimensions", len(extents), MaxDim))
+	}
+	var s Shape
+	for d := range s {
+		s[d] = 1
+	}
+	for d, e := range extents {
+		if e < 1 {
+			panic(fmt.Sprintf("geom: extent %d in dimension %d", e, d))
+		}
+		s[d] = e
+	}
+	return s
+}
+
+// Volume is the number of sites (nodes) in the torus.
+func (s Shape) Volume() int {
+	v := 1
+	for _, e := range s {
+		v *= e
+	}
+	return v
+}
+
+// Dims reports the number of dimensions with extent > 1.
+func (s Shape) Dims() int {
+	n := 0
+	for _, e := range s {
+		if e > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Valid reports whether every extent is at least 1.
+func (s Shape) Valid() bool {
+	for _, e := range s {
+		if e < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether c lies inside the shape.
+func (s Shape) Contains(c Coord) bool {
+	for d := 0; d < MaxDim; d++ {
+		if c[d] < 0 || c[d] >= s[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rank converts a coordinate to its lexicographic rank, with dimension 0
+// fastest. Rank is the node identifier used throughout the simulator.
+func (s Shape) Rank(c Coord) int {
+	r := 0
+	for d := MaxDim - 1; d >= 0; d-- {
+		r = r*s[d] + c[d]
+	}
+	return r
+}
+
+// CoordOf inverts Rank.
+func (s Shape) CoordOf(rank int) Coord {
+	var c Coord
+	for d := 0; d < MaxDim; d++ {
+		c[d] = rank % s[d]
+		rank /= s[d]
+	}
+	return c
+}
+
+// Neighbor returns the coordinate one step from c along dimension dim in
+// direction dir, with periodic (torus) wrapping.
+func (s Shape) Neighbor(c Coord, dim int, dir Dir) Coord {
+	n := c
+	n[dim] = wrap(c[dim]+int(dir), s[dim])
+	return n
+}
+
+func wrap(x, n int) int {
+	x %= n
+	if x < 0 {
+		x += n
+	}
+	return x
+}
+
+// Distance returns the minimum number of nearest-neighbour hops between
+// a and b on the torus.
+func (s Shape) Distance(a, b Coord) int {
+	d := 0
+	for dim := 0; dim < MaxDim; dim++ {
+		delta := abs(a[dim] - b[dim])
+		if w := s[dim] - delta; w < delta {
+			delta = w
+		}
+		d += delta
+	}
+	return d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Diameter returns the maximum hop distance between any two nodes,
+// i.e. the sum over dimensions of floor(extent/2).
+func (s Shape) Diameter() int {
+	d := 0
+	for _, e := range s {
+		d += e / 2
+	}
+	return d
+}
+
+func (s Shape) String() string {
+	out := ""
+	for d, e := range s {
+		if d > 0 {
+			out += "x"
+		}
+		out += fmt.Sprint(e)
+	}
+	return out
+}
+
+// Link identifies one of the twelve nearest-neighbour connections of a
+// node: a dimension and a direction. The SCU drives a concurrent send and
+// a concurrent receive on each Link.
+type Link struct {
+	Dim int
+	Dir Dir
+}
+
+// LinkIndex maps a Link to a dense index in [0, NumLinks): forward links
+// first (dims 0..5), then backward links.
+func LinkIndex(l Link) int {
+	if l.Dir == Fwd {
+		return l.Dim
+	}
+	return MaxDim + l.Dim
+}
+
+// LinkAt inverts LinkIndex.
+func LinkAt(i int) Link {
+	if i < MaxDim {
+		return Link{Dim: i, Dir: Fwd}
+	}
+	return Link{Dim: i - MaxDim, Dir: Bwd}
+}
+
+// Opposite returns the link as seen from the neighbouring node: a packet
+// leaving on (dim, +) arrives on the neighbour's (dim, -) receiver.
+func (l Link) Opposite() Link {
+	return Link{Dim: l.Dim, Dir: -l.Dir}
+}
+
+func (l Link) String() string {
+	sign := "+"
+	if l.Dir == Bwd {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s%d", sign, l.Dim)
+}
+
+// AllLinks enumerates the twelve links in LinkIndex order.
+func AllLinks() []Link {
+	ls := make([]Link, NumLinks)
+	for i := range ls {
+		ls[i] = LinkAt(i)
+	}
+	return ls
+}
+
+// ErrNotSubShape is returned when a partition request does not fit in the
+// parent machine.
+var ErrNotSubShape = errors.New("geom: partition does not fit inside machine shape")
+
+// Partition is a rectangular region of a parent torus, carved out in
+// software by the qdaemon (§3.1). In each dimension the partition either
+// spans the full machine extent (and then inherits the torus wrap from
+// the physical cabling) or is a strict sub-range (and is then an open
+// mesh in that dimension: the boundary links exist physically but are
+// fenced off from the partition's traffic).
+type Partition struct {
+	Machine Shape // shape of the parent machine
+	Origin  Coord // lowest corner of the partition in machine coordinates
+	Extent  Shape // extent of the partition in each dimension
+}
+
+// NewPartition validates and builds a partition of machine at origin with
+// the given extent.
+func NewPartition(machine Shape, origin Coord, extent Shape) (Partition, error) {
+	if !extent.Valid() {
+		return Partition{}, fmt.Errorf("%w: invalid extent %v", ErrNotSubShape, extent)
+	}
+	for d := 0; d < MaxDim; d++ {
+		if origin[d] < 0 || origin[d]+extent[d] > machine[d] {
+			return Partition{}, fmt.Errorf("%w: dim %d origin %d extent %d machine %d",
+				ErrNotSubShape, d, origin[d], extent[d], machine[d])
+		}
+	}
+	return Partition{Machine: machine, Origin: origin, Extent: extent}, nil
+}
+
+// WholeMachine returns the trivial partition covering the full torus.
+func WholeMachine(machine Shape) Partition {
+	return Partition{Machine: machine, Origin: Coord{}, Extent: machine}
+}
+
+// Volume is the number of nodes in the partition.
+func (p Partition) Volume() int { return p.Extent.Volume() }
+
+// Wraps reports whether the partition is periodic in dimension d, which
+// holds exactly when it spans the machine's full extent there.
+func (p Partition) Wraps(d int) bool { return p.Extent[d] == p.Machine[d] }
+
+// Contains reports whether the machine coordinate mc lies in the partition.
+func (p Partition) Contains(mc Coord) bool {
+	for d := 0; d < MaxDim; d++ {
+		if mc[d] < p.Origin[d] || mc[d] >= p.Origin[d]+p.Extent[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ToMachine converts a partition-local coordinate to a machine coordinate.
+func (p Partition) ToMachine(local Coord) Coord {
+	var mc Coord
+	for d := 0; d < MaxDim; d++ {
+		mc[d] = p.Origin[d] + local[d]
+	}
+	return mc
+}
+
+// ToLocal converts a machine coordinate inside the partition to a
+// partition-local coordinate.
+func (p Partition) ToLocal(mc Coord) Coord {
+	var c Coord
+	for d := 0; d < MaxDim; d++ {
+		c[d] = mc[d] - p.Origin[d]
+	}
+	return c
+}
+
+// Neighbor returns the partition-local neighbour of local along (dim,
+// dir) and whether that neighbour exists: in wrapped dimensions it always
+// does; in mesh (sub-range) dimensions boundary nodes have no neighbour
+// beyond the edge.
+func (p Partition) Neighbor(local Coord, dim int, dir Dir) (Coord, bool) {
+	n := local
+	x := local[dim] + int(dir)
+	if p.Wraps(dim) {
+		n[dim] = wrap(x, p.Extent[dim])
+		return n, true
+	}
+	if x < 0 || x >= p.Extent[dim] {
+		return Coord{}, false
+	}
+	n[dim] = x
+	return n, true
+}

@@ -1,0 +1,395 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeShape(t *testing.T) {
+	s := MakeShape(8, 4, 4, 2, 2, 2)
+	if got := s.Volume(); got != 1024 {
+		t.Fatalf("volume = %d, want 1024", got)
+	}
+	if got := s.Dims(); got != 6 {
+		t.Fatalf("dims = %d, want 6", got)
+	}
+	s2 := MakeShape(4, 4)
+	if got := s2.Volume(); got != 16 {
+		t.Fatalf("volume = %d, want 16", got)
+	}
+	if got := s2.Dims(); got != 2 {
+		t.Fatalf("dims = %d, want 2", got)
+	}
+	if s2[5] != 1 {
+		t.Fatalf("padding dim = %d, want 1", s2[5])
+	}
+}
+
+func TestMakeShapePanics(t *testing.T) {
+	for _, bad := range [][]int{{0}, {-1, 2}, {1, 2, 3, 4, 5, 6, 7}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeShape(%v) did not panic", bad)
+				}
+			}()
+			MakeShape(bad...)
+		}()
+	}
+}
+
+func TestRankCoordRoundTrip(t *testing.T) {
+	s := MakeShape(3, 4, 2, 5)
+	for r := 0; r < s.Volume(); r++ {
+		c := s.CoordOf(r)
+		if !s.Contains(c) {
+			t.Fatalf("coord %v of rank %d outside shape", c, r)
+		}
+		if got := s.Rank(c); got != r {
+			t.Fatalf("Rank(CoordOf(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestRankCoordQuick(t *testing.T) {
+	s := MakeShape(8, 4, 4, 2, 2, 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := rng.Intn(s.Volume())
+		return s.Rank(s.CoordOf(r)) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborWraps(t *testing.T) {
+	s := MakeShape(4, 2)
+	c := Coord{3, 1}
+	if n := s.Neighbor(c, 0, Fwd); n[0] != 0 {
+		t.Fatalf("fwd wrap: %v", n)
+	}
+	if n := s.Neighbor(Coord{0, 0}, 0, Bwd); n[0] != 3 {
+		t.Fatalf("bwd wrap: %v", n)
+	}
+}
+
+func TestNeighborInverse(t *testing.T) {
+	s := MakeShape(4, 4, 2, 2, 2, 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := s.CoordOf(rng.Intn(s.Volume()))
+		dim := rng.Intn(MaxDim)
+		fwd := s.Neighbor(c, dim, Fwd)
+		return s.Neighbor(fwd, dim, Bwd) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	s := MakeShape(8, 4)
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{1, 0}, 1},
+		{Coord{0, 0}, Coord{7, 0}, 1},     // torus wrap
+		{Coord{0, 0}, Coord{4, 2}, 6},     // half way in both dims
+		{Coord{1, 3}, Coord{6, 0}, 3 + 1}, // wraps: 1->6 is 3 hops (via 0), 3->0 is 1 hop
+	}
+	for _, c := range cases {
+		if got := s.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetricTriangle(t *testing.T) {
+	s := MakeShape(4, 4, 2, 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := s.CoordOf(rng.Intn(s.Volume()))
+		b := s.CoordOf(rng.Intn(s.Volume()))
+		c := s.CoordOf(rng.Intn(s.Volume()))
+		if s.Distance(a, b) != s.Distance(b, a) {
+			return false
+		}
+		return s.Distance(a, c) <= s.Distance(a, b)+s.Distance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	s := MakeShape(8, 4, 4, 2, 2, 2)
+	if got, want := s.Diameter(), 4+2+2+1+1+1; got != want {
+		t.Fatalf("diameter = %d, want %d", got, want)
+	}
+}
+
+func TestLinkIndexRoundTrip(t *testing.T) {
+	seen := map[int]bool{}
+	for _, l := range AllLinks() {
+		i := LinkIndex(l)
+		if i < 0 || i >= NumLinks {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+		if got := LinkAt(i); got != l {
+			t.Fatalf("LinkAt(LinkIndex(%v)) = %v", l, got)
+		}
+	}
+	if len(seen) != NumLinks {
+		t.Fatalf("enumerated %d links, want %d", len(seen), NumLinks)
+	}
+}
+
+func TestLinkOpposite(t *testing.T) {
+	for _, l := range AllLinks() {
+		o := l.Opposite()
+		if o.Dim != l.Dim || o.Dir != -l.Dir {
+			t.Fatalf("opposite of %v = %v", l, o)
+		}
+		if o.Opposite() != l {
+			t.Fatalf("double opposite of %v", l)
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	m := MakeShape(8, 4, 4, 2, 2, 2)
+	if _, err := NewPartition(m, Coord{4, 0, 0, 0, 0, 0}, MakeShape(4, 4, 4, 2, 2, 2)); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	if _, err := NewPartition(m, Coord{6, 0, 0, 0, 0, 0}, MakeShape(4, 4, 4, 2, 2, 2)); err == nil {
+		t.Fatal("overflowing partition accepted")
+	}
+	if _, err := NewPartition(m, Coord{}, Shape{}); err == nil {
+		t.Fatal("zero extent accepted")
+	}
+}
+
+func TestPartitionCoordinates(t *testing.T) {
+	m := MakeShape(8, 4, 4, 2, 2, 2)
+	p, err := NewPartition(m, Coord{4, 0, 0, 0, 0, 0}, MakeShape(4, 4, 4, 2, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Volume() != 512 {
+		t.Fatalf("volume = %d", p.Volume())
+	}
+	local := Coord{1, 2, 3, 0, 1, 0}
+	mc := p.ToMachine(local)
+	if mc != (Coord{5, 2, 3, 0, 1, 0}) {
+		t.Fatalf("ToMachine = %v", mc)
+	}
+	if !p.Contains(mc) {
+		t.Fatal("machine coord not contained")
+	}
+	if got := p.ToLocal(mc); got != local {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestPartitionWrapAndMeshEdges(t *testing.T) {
+	m := MakeShape(8, 4)
+	p, err := NewPartition(m, Coord{2, 0, 0, 0, 0, 0}, MakeShape(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Wraps(0) {
+		t.Fatal("sub-range dim reported as wrapping")
+	}
+	if !p.Wraps(1) {
+		t.Fatal("full-extent dim not wrapping")
+	}
+	// Mesh dimension: edge node has no neighbour beyond the boundary.
+	if _, ok := p.Neighbor(Coord{3, 0, 0, 0, 0, 0}, 0, Fwd); ok {
+		t.Fatal("mesh edge wrapped")
+	}
+	if _, ok := p.Neighbor(Coord{0, 0, 0, 0, 0, 0}, 0, Bwd); ok {
+		t.Fatal("mesh edge wrapped backward")
+	}
+	// Torus dimension wraps.
+	n, ok := p.Neighbor(Coord{0, 3, 0, 0, 0, 0}, 1, Fwd)
+	if !ok || n[1] != 0 {
+		t.Fatalf("torus wrap: %v %v", n, ok)
+	}
+}
+
+func TestFoldValidation(t *testing.T) {
+	m := MakeShape(8, 4, 4, 2, 2, 2)
+	if _, err := NewFold(m, [][]int{{0}, {1}, {2}, {3}, {4}, {5}}); err != nil {
+		t.Fatalf("identity axes rejected: %v", err)
+	}
+	// Missing machine dimension.
+	if _, err := NewFold(m, [][]int{{0}, {1}, {2}, {3}, {4}}); err == nil {
+		t.Fatal("missing dim accepted")
+	}
+	// Duplicate machine dimension.
+	if _, err := NewFold(m, [][]int{{0, 1}, {1}, {2}, {3}, {4}, {5}}); err == nil {
+		t.Fatal("duplicate dim accepted")
+	}
+	// Odd slowest extent in a folded axis cannot close the serpentine.
+	modd := MakeShape(4, 3)
+	if _, err := NewFold(modd, [][]int{{0, 1}}); err == nil {
+		t.Fatal("odd serpentine accepted")
+	}
+	// Odd fastest extent is fine.
+	if _, err := NewFold(MakeShape(3, 4), [][]int{{0, 1}}); err != nil {
+		t.Fatalf("odd fastest extent rejected: %v", err)
+	}
+}
+
+func TestFoldRoundTrip(t *testing.T) {
+	m := MakeShape(8, 4, 4, 2, 2, 2)
+	// Fold the 6-D machine into a 4-D logical torus: 8x4=32, 4x2=8, 2, 2.
+	f, err := NewFold(m, [][]int{{0, 1}, {2, 3}, {4}, {5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MakeShape(32, 8, 2, 2)
+	if f.Logical() != want {
+		t.Fatalf("logical shape %v, want %v", f.Logical(), want)
+	}
+	seen := map[Coord]bool{}
+	ls := f.Logical()
+	for r := 0; r < ls.Volume(); r++ {
+		lc := ls.CoordOf(r)
+		mc := f.ToMachine(lc)
+		if !m.Contains(mc) {
+			t.Fatalf("machine coord %v out of range", mc)
+		}
+		if seen[mc] {
+			t.Fatalf("machine coord %v hit twice", mc)
+		}
+		seen[mc] = true
+		if got := f.ToLogical(mc); got != lc {
+			t.Fatalf("round trip %v -> %v -> %v", lc, mc, got)
+		}
+	}
+	if len(seen) != m.Volume() {
+		t.Fatalf("fold covers %d machine nodes, want %d", len(seen), m.Volume())
+	}
+}
+
+// TestFoldPreservesNeighbours is the key property from §2.2: after folding,
+// logical nearest neighbours (including the torus wrap-around step) are
+// machine nearest neighbours.
+func TestFoldPreservesNeighbours(t *testing.T) {
+	m := MakeShape(8, 4, 4, 2, 2, 2)
+	folds := [][][]int{
+		{{0}, {1}, {2}, {3}, {4}, {5}}, // 6-D identity
+		{{0, 1}, {2, 3}, {4}, {5}},     // 4-D
+		{{0, 1}, {2}, {3}, {4}, {5}},   // 5-D
+		{{0, 1, 2}, {3, 4}, {5}},       // 3-D
+		{{0, 1, 2, 3}, {4, 5}},         // 2-D
+		{{0, 1, 2, 3, 4, 5}},           // 1-D: the whole machine as a ring
+		{{2, 0}, {5, 1}, {3}, {4}},     // 4-D, shuffled machine dims
+	}
+	for _, axes := range folds {
+		f, err := NewFold(m, axes)
+		if err != nil {
+			t.Fatalf("axes %v: %v", axes, err)
+		}
+		ls := f.Logical()
+		for r := 0; r < ls.Volume(); r++ {
+			lc := ls.CoordOf(r)
+			mc := f.ToMachine(lc)
+			for a := range axes {
+				for _, dir := range []Dir{Fwd, Bwd} {
+					nlc := lc
+					nlc[a] = (lc[a] + int(dir) + ls[a]) % ls[a]
+					nmc := f.ToMachine(nlc)
+					if d := m.Distance(mc, nmc); d != 1 {
+						t.Fatalf("axes %v: logical step %v->%v maps to machine %v->%v (distance %d)",
+							axes, lc, nlc, mc, nmc, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMachineLink(t *testing.T) {
+	m := MakeShape(4, 4)
+	f, err := NewFold(m, [][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := f.Logical()
+	for r := 0; r < ls.Volume(); r++ {
+		lc := ls.CoordOf(r)
+		for _, dir := range []Dir{Fwd, Bwd} {
+			from, link, to := f.MachineLink(lc, 0, dir)
+			if got := m.Neighbor(from, link.Dim, link.Dir); got != to {
+				t.Fatalf("link %v from %v does not reach %v (got %v)", link, from, to, got)
+			}
+		}
+	}
+}
+
+func TestIdentityFold(t *testing.T) {
+	m := MakeShape(4, 4, 2)
+	f := IdentityFold(m)
+	if f.Logical() != MakeShape(4, 4, 2) {
+		t.Fatalf("logical = %v", f.Logical())
+	}
+	c := Coord{1, 2, 1, 0, 0, 0}
+	if f.ToMachine(c) != c {
+		t.Fatalf("identity fold moved %v to %v", c, f.ToMachine(c))
+	}
+}
+
+// TestMachineLinkSenderReceiverConsistency is the wiring invariant that
+// global operations depend on: the link a node transmits on for a +axis
+// step is, seen from the destination, exactly the opposite of the link
+// the destination names for its -axis step — for every fold, including
+// extent-2 machine dimensions where +1 and -1 hops reach the same node
+// over different wires.
+func TestMachineLinkSenderReceiverConsistency(t *testing.T) {
+	shapes := []struct {
+		m    Shape
+		axes [][]int
+	}{
+		{MakeShape(4, 2, 2), [][]int{{0}, {1}, {2}}},
+		{MakeShape(4, 2, 2), [][]int{{0, 1, 2}}},
+		{MakeShape(2, 2), [][]int{{0}, {1}}},
+		{MakeShape(2, 2, 2, 2), [][]int{{0, 1}, {2, 3}}},
+		{MakeShape(8, 4), [][]int{{1, 0}}},
+	}
+	for _, c := range shapes {
+		f, err := NewFold(c.m, c.axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := f.Logical()
+		for r := 0; r < ls.Volume(); r++ {
+			lc := ls.CoordOf(r)
+			for a := range c.axes {
+				if ls[a] <= 1 {
+					continue
+				}
+				_, sendLink, to := f.MachineLink(lc, a, Fwd)
+				next := lc
+				next[a] = (lc[a] + 1) % ls[a]
+				recvFrom, recvLink, back := f.MachineLink(next, a, Bwd)
+				if recvLink != sendLink.Opposite() {
+					t.Fatalf("fold %v: step %v->%v sends on %v but receiver listens on %v",
+						c.axes, lc, next, sendLink, recvLink)
+				}
+				if recvFrom != to || back != f.ToMachine(lc) {
+					t.Fatalf("fold %v: coordinates inconsistent for step %v->%v", c.axes, lc, next)
+				}
+			}
+		}
+	}
+}

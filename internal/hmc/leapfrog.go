@@ -1,0 +1,160 @@
+package hmc
+
+import (
+	"math"
+
+	"qcdoc/internal/latmath"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/rng"
+)
+
+// Momenta are the conjugate momenta of HMC: one traceless anti-Hermitian
+// matrix per link.
+type Momenta struct {
+	L lattice.Shape4
+	P []latmath.Mat3
+}
+
+// NewMomenta allocates zero momenta.
+func NewMomenta(l lattice.Shape4) *Momenta {
+	return &Momenta{L: l, P: make([]latmath.Mat3, lattice.Ndim*l.Volume())}
+}
+
+// Gaussian fills the momenta with the HMC heat-bath distribution
+// exp(+1/2 Σ tr π²) (π anti-Hermitian makes tr π² negative), drawing
+// from per-link streams keyed by (seed, trajectory, link).
+func (m *Momenta) Gaussian(seed uint64, trajectory int) {
+	v := m.L.Volume()
+	for idx := 0; idx < v; idx++ {
+		for mu := 0; mu < lattice.Ndim; mu++ {
+			st := linkStream(seed^0xBADC0FFEE, trajectory, uint64(idx)*lattice.Ndim+uint64(mu))
+			m.P[lattice.Ndim*idx+mu] = randomAlgebra(st)
+		}
+	}
+}
+
+// generators is an orthonormal basis of Hermitian traceless matrices,
+// tr(T_a T_b) = δ_ab: the Gell-Mann matrices divided by √2.
+var generators = buildGenerators()
+
+func buildGenerators() [8]latmath.Mat3 {
+	s := complex(1/math.Sqrt2, 0)
+	i := complex(0, 1)
+	var g [8]latmath.Mat3
+	g[0] = latmath.Mat3{{0, 1, 0}, {1, 0, 0}, {0, 0, 0}}
+	g[1] = latmath.Mat3{{0, -i, 0}, {i, 0, 0}, {0, 0, 0}}
+	g[2] = latmath.Mat3{{1, 0, 0}, {0, -1, 0}, {0, 0, 0}}
+	g[3] = latmath.Mat3{{0, 0, 1}, {0, 0, 0}, {1, 0, 0}}
+	g[4] = latmath.Mat3{{0, 0, -i}, {0, 0, 0}, {i, 0, 0}}
+	g[5] = latmath.Mat3{{0, 0, 0}, {0, 0, 1}, {0, 1, 0}}
+	g[6] = latmath.Mat3{{0, 0, 0}, {0, 0, -i}, {0, i, 0}}
+	d := complex(1/math.Sqrt(3), 0)
+	g[7] = latmath.Mat3{{d, 0, 0}, {0, d, 0}, {0, 0, -2 * d}}
+	for a := range g {
+		g[a] = g[a].Scale(s)
+	}
+	return g
+}
+
+// randomAlgebra draws a traceless anti-Hermitian matrix π = i Σ c_a T_a
+// with c_a ~ N(0,1), the momentum heat-bath distribution
+// exp(+1/2 tr π²) = exp(-1/2 Σ c_a²).
+func randomAlgebra(st *rng.Stream) latmath.Mat3 {
+	var h latmath.Mat3
+	for a := 0; a < 8; a++ {
+		h = h.Add(generators[a].Scale(complex(st.NormFloat64(), 0)))
+	}
+	return h.Scale(1i) // anti-Hermitian
+}
+
+// Kinetic returns the kinetic energy K = -1/2 Σ tr π² (positive for
+// anti-Hermitian π).
+func (m *Momenta) Kinetic() float64 {
+	var k float64
+	for i := range m.P {
+		p := m.P[i]
+		k += -real(p.Mul(p).Trace())
+	}
+	return k / 2
+}
+
+// Force returns the HMC force for link (x,mu): -(beta/3) times the
+// traceless anti-Hermitian projection of U_mu(x) * Staple(x,mu), the
+// derivative of the Wilson action matching the convention
+// dU/dt = pi U.
+func Force(g *lattice.GaugeField, x lattice.Site, mu int, beta float64) latmath.Mat3 {
+	uv := g.Link(x, mu).Mul(g.Staple(x, mu))
+	return uv.TracelessAntiHermitian().Scale(complex(-beta/3, 0))
+}
+
+// HMC evolves the gauge field by hybrid Monte Carlo trajectories.
+type HMC struct {
+	Beta       float64
+	Seed       uint64
+	StepSize   float64
+	Steps      int
+	Trajectory int // completed trajectories; keys the random streams
+
+	// Statistics.
+	Accepted, Rejected int
+	LastDeltaH         float64
+}
+
+// leapfrog integrates (g, p) forward through n steps of size dt.
+func leapfrog(g *lattice.GaugeField, p *Momenta, beta, dt float64, n int) {
+	l := g.L
+	v := l.Volume()
+	halfKick := func(scale float64) {
+		for idx := 0; idx < v; idx++ {
+			x := l.SiteOf(idx)
+			for mu := 0; mu < lattice.Ndim; mu++ {
+				f := Force(g, x, mu, beta)
+				p.P[lattice.Ndim*idx+mu] = p.P[lattice.Ndim*idx+mu].Add(f.Scale(complex(scale*dt, 0)))
+			}
+		}
+	}
+	drift := func() {
+		for idx := 0; idx < v; idx++ {
+			x := l.SiteOf(idx)
+			for mu := 0; mu < lattice.Ndim; mu++ {
+				u := latmath.Exp(p.P[lattice.Ndim*idx+mu].Scale(complex(dt, 0))).Mul(g.Link(x, mu))
+				g.SetLink(x, mu, u.Reunitarize())
+			}
+		}
+	}
+	halfKick(0.5)
+	for step := 0; step < n; step++ {
+		drift()
+		if step != n-1 {
+			halfKick(1)
+		}
+	}
+	halfKick(0.5)
+}
+
+// Integrate runs the leapfrog on (g, p) without any accept/reject —
+// exposed for the reversibility and energy-conservation tests.
+func Integrate(g *lattice.GaugeField, p *Momenta, beta, dt float64, n int) {
+	leapfrog(g, p, beta, dt, n)
+}
+
+// Trajectory runs one HMC trajectory with Metropolis accept/reject and
+// reports whether it was accepted.
+func (h *HMC) Run(g *lattice.GaugeField) bool {
+	p := NewMomenta(g.L)
+	p.Gaussian(h.Seed, h.Trajectory)
+	h.Trajectory++
+	hBefore := Action(g, h.Beta) + p.Kinetic()
+	trial := g.Clone()
+	leapfrog(trial, p, h.Beta, h.StepSize, h.Steps)
+	hAfter := Action(trial, h.Beta) + p.Kinetic()
+	h.LastDeltaH = hAfter - hBefore
+	st := rng.New(h.Seed^0xACCE97, uint64(h.Trajectory))
+	if h.LastDeltaH <= 0 || st.Float64() < math.Exp(-h.LastDeltaH) {
+		copy(g.U, trial.U)
+		h.Accepted++
+		return true
+	}
+	h.Rejected++
+	return false
+}

@@ -1,0 +1,212 @@
+// Package hssl models the IBM High Speed Serial Link controllers that
+// carry the QCDOC mesh network (§2.2): bit-serial, uni-directional wires
+// running at the processor clock (target 500 MHz), with a power-on
+// training sequence that establishes sampling times and byte boundaries,
+// idle bytes when no data flows, and — for the fault-injection
+// experiments — a hook that corrupts frames in flight.
+//
+// The motherboard provides a matched-impedance path with no redrive, so
+// propagation is a small fixed time-of-flight; dense packaging keeps it
+// to a few nanoseconds even through metres of cable (§1, §2.4).
+package hssl
+
+import (
+	"errors"
+	"fmt"
+
+	"qcdoc/internal/event"
+)
+
+// DefaultClock is the paper's target link speed: the links run at the
+// same clock as the processor.
+const DefaultClock = 500 * event.MHz
+
+// DefaultPropagation is the modelled time-of-flight between neighbouring
+// ASICs through motherboard traces and external cables. Dense packaging
+// keeps this small; 5 ns corresponds to about a metre of trace+cable.
+const DefaultPropagation = 5 * event.Nanosecond
+
+// TrainingBytes is the length of the known byte sequence the HSSL
+// controllers exchange after reset to lock sampling phase and byte
+// framing.
+const TrainingBytes = 64
+
+// Frame is one serialized packet in flight on a wire.
+type Frame struct {
+	Bytes []byte
+	Seq   uint64 // monotone per-wire frame number, used by fault injectors
+}
+
+// FaultFunc may mutate a frame in flight (it receives its own copy and
+// returns the possibly-corrupted bytes). A nil FaultFunc means a clean
+// wire.
+type FaultFunc func(f Frame) []byte
+
+// Stats counts wire activity.
+type Stats struct {
+	Frames    uint64
+	Bits      uint64
+	Corrupted uint64 // frames altered by the fault injector
+}
+
+// Wire is one uni-directional bit-serial link between two neighbouring
+// nodes. Frames are serialized at the link clock (one bit per cycle),
+// then arrive at the far end after the propagation delay. Serialization
+// is strictly FIFO: a frame cannot start until the previous one has left
+// the transmitter.
+type Wire struct {
+	eng     *event.Engine
+	name    string
+	clock   event.Hz
+	prop    event.Time
+	rx      *event.Queue[Frame]
+	trained bool
+
+	busyUntil event.Time
+	seq       uint64
+	fault     FaultFunc
+	stats     Stats
+}
+
+// NewWire creates a wire on the engine. clock is the serial bit rate;
+// prop the time-of-flight to the receiver.
+func NewWire(eng *event.Engine, name string, clock event.Hz, prop event.Time) *Wire {
+	return &Wire{
+		eng:   eng,
+		name:  name,
+		clock: clock,
+		prop:  prop,
+		rx:    event.NewQueue[Frame](eng, "hssl "+name),
+	}
+}
+
+// SetFault installs (or clears, with nil) the fault injector.
+func (w *Wire) SetFault(f FaultFunc) { w.fault = f }
+
+// Stats returns a copy of the wire's counters.
+func (w *Wire) Stats() Stats { return w.stats }
+
+// Name returns the wire's name.
+func (w *Wire) Name() string { return w.name }
+
+// Clock returns the wire's bit clock.
+func (w *Wire) Clock() event.Hz { return w.clock }
+
+// ErrNotTrained is returned when data is sent before link training.
+var ErrNotTrained = errors.New("hssl: link not trained")
+
+// Train performs the power-on training handshake: the transmitter sends
+// the known TrainingBytes sequence so the receiver can lock its sampling
+// phase and byte boundaries. Takes the serialization time of the training
+// pattern plus one propagation delay.
+func (w *Wire) Train(p *event.Proc) {
+	bits := int64(TrainingBytes * 8)
+	p.Sleep(w.clock.Cycles(bits) + w.prop)
+	w.trained = true
+}
+
+// Trained reports whether the wire has completed training.
+func (w *Wire) Trained() bool { return w.trained }
+
+// Reset drops training (e.g. on machine reset); in-flight frames are
+// still delivered, matching a real wire where bits already launched
+// arrive regardless.
+func (w *Wire) Reset() { w.trained = false }
+
+// SerializeTime returns how long the given frame occupies the transmitter.
+func (w *Wire) SerializeTime(nBytes int) event.Time {
+	return w.clock.Cycles(int64(nBytes) * 8)
+}
+
+// Send launches a frame onto the wire. It returns the time at which the
+// frame will have fully arrived at the receiver. Send never blocks the
+// caller: the SCU hardware queues into the serializer; flow control
+// happens one layer up via the ack window. An untrained wire rejects
+// traffic.
+func (w *Wire) Send(frame []byte) (event.Time, error) {
+	if !w.trained {
+		return 0, fmt.Errorf("%w: %s", ErrNotTrained, w.name)
+	}
+	start := w.eng.Now()
+	if w.busyUntil > start {
+		start = w.busyUntil
+	}
+	ser := w.SerializeTime(len(frame))
+	w.busyUntil = start + ser
+	arrive := w.busyUntil + w.prop
+
+	w.seq++
+	f := Frame{Bytes: append([]byte(nil), frame...), Seq: w.seq}
+	if w.fault != nil {
+		mutated := w.fault(f)
+		if !equalBytes(mutated, f.Bytes) {
+			w.stats.Corrupted++
+		}
+		f.Bytes = mutated
+	}
+	w.stats.Frames++
+	w.stats.Bits += uint64(len(frame)) * 8
+
+	w.eng.At(arrive, func() { w.rx.Put(f) })
+	return arrive, nil
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Recv blocks the process until the next frame arrives.
+func (w *Wire) Recv(p *event.Proc) Frame { return w.rx.Get(p) }
+
+// TryRecv returns the next frame if one has arrived.
+func (w *Wire) TryRecv() (Frame, bool) { return w.rx.TryGet() }
+
+// Busy reports whether the transmitter is still serializing.
+func (w *Wire) Busy() bool { return w.busyUntil > w.eng.Now() }
+
+// FlipBitOnce returns a FaultFunc that flips the given bit of frame
+// number seq exactly once — the single-bit-error scenario of §2.2 that
+// the parity check must catch and the window protocol must repair.
+func FlipBitOnce(seq uint64, bit int) FaultFunc {
+	done := false
+	return func(f Frame) []byte {
+		if done || f.Seq != seq {
+			return f.Bytes
+		}
+		done = true
+		out := append([]byte(nil), f.Bytes...)
+		if n := len(out) * 8; n > 0 {
+			b := bit % n
+			out[b/8] ^= 1 << (b % 8)
+		}
+		return out
+	}
+}
+
+// FlipBitEvery returns a FaultFunc that corrupts every n-th frame,
+// flipping a payload bit derived from the frame number. Used for soak
+// tests of the resend path.
+func FlipBitEvery(n uint64) FaultFunc {
+	if n == 0 {
+		n = 1
+	}
+	return func(f Frame) []byte {
+		if f.Seq%n != 0 {
+			return f.Bytes
+		}
+		out := append([]byte(nil), f.Bytes...)
+		if len(out) > 0 {
+			bit := int(f.Seq) % (len(out) * 8)
+			out[bit/8] ^= 1 << (bit % 8)
+		}
+		return out
+	}
+}

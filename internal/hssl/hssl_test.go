@@ -1,0 +1,210 @@
+package hssl
+
+import (
+	"errors"
+	"testing"
+
+	"qcdoc/internal/event"
+)
+
+func trainedWire(e *event.Engine) *Wire {
+	w := NewWire(e, "test", DefaultClock, DefaultPropagation)
+	e.Spawn("trainer", func(p *event.Proc) { w.Train(p) })
+	if err := e.RunAll(); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func TestUntrainedRejects(t *testing.T) {
+	e := event.New()
+	w := NewWire(e, "w", DefaultClock, DefaultPropagation)
+	if _, err := w.Send([]byte{1, 2, 3}); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrainingTakesTime(t *testing.T) {
+	e := event.New()
+	w := NewWire(e, "w", DefaultClock, DefaultPropagation)
+	var doneAt event.Time
+	e.Spawn("trainer", func(p *event.Proc) {
+		w.Train(p)
+		doneAt = p.Now()
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultClock.Cycles(TrainingBytes*8) + DefaultPropagation
+	if doneAt != want {
+		t.Fatalf("trained at %v, want %v", doneAt, want)
+	}
+	if !w.Trained() {
+		t.Fatal("not trained")
+	}
+}
+
+func TestSerializationTiming(t *testing.T) {
+	// A 9-byte frame at 500 MHz is 72 bits x 2 ns = 144 ns on the wire,
+	// plus 5 ns of flight.
+	e := event.New()
+	w := trainedWire(e)
+	start := e.Now()
+	arrive, err := w.Send(make([]byte, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := start + 144*event.Nanosecond + DefaultPropagation
+	if arrive != want {
+		t.Fatalf("arrive = %v, want %v", arrive, want)
+	}
+	var gotAt event.Time
+	e.Spawn("rx", func(p *event.Proc) {
+		f := w.Recv(p)
+		gotAt = p.Now()
+		if len(f.Bytes) != 9 {
+			t.Errorf("frame len %d", len(f.Bytes))
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt != want {
+		t.Fatalf("received at %v, want %v", gotAt, want)
+	}
+}
+
+func TestFIFOAndBackToBackSerialization(t *testing.T) {
+	// Two frames sent at once serialize back to back, not in parallel.
+	e := event.New()
+	w := trainedWire(e)
+	base := e.Now()
+	a1, _ := w.Send(make([]byte, 9))
+	a2, _ := w.Send(make([]byte, 9))
+	ser := w.SerializeTime(9)
+	if a1 != base+ser+DefaultPropagation {
+		t.Fatalf("first frame at %v", a1)
+	}
+	if a2 != base+2*ser+DefaultPropagation {
+		t.Fatalf("second frame at %v, want serialized after first", a2)
+	}
+	var order []uint64
+	e.Spawn("rx", func(p *event.Proc) {
+		for i := 0; i < 2; i++ {
+			order = append(order, w.Recv(p).Seq)
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPayloadIntegrity(t *testing.T) {
+	e := event.New()
+	w := trainedWire(e)
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	if _, err := w.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 0 // caller mutates its buffer after send; wire must not care
+	var got []byte
+	e.Spawn("rx", func(p *event.Proc) { got = w.Recv(p).Bytes })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBandwidthMatchesClock(t *testing.T) {
+	// 1000 9-byte frames at 500 Mbit/s = 72000 bits = 144 us of wire time.
+	e := event.New()
+	w := trainedWire(e)
+	start := e.Now()
+	var last event.Time
+	for i := 0; i < 1000; i++ {
+		last, _ = w.Send(make([]byte, 9))
+	}
+	want := start + DefaultClock.Cycles(1000*72) + DefaultPropagation
+	if last != want {
+		t.Fatalf("last arrival %v, want %v", last, want)
+	}
+	// Payload bandwidth: 8 bytes per 72 bits -> 55.6 MB/s per wire
+	// direction; 24 wires -> 1.33 GB/s aggregate (checked in scupkt).
+	bytesPerSec := 8.0 * 1000 / (DefaultClock.Cycles(1000 * 72)).Seconds()
+	if bytesPerSec < 55e6 || bytesPerSec > 56e6 {
+		t.Fatalf("payload bandwidth %.3g B/s", bytesPerSec)
+	}
+}
+
+func TestFaultInjectionOnce(t *testing.T) {
+	e := event.New()
+	w := trainedWire(e)
+	w.SetFault(FlipBitOnce(2, 3))
+	for i := 0; i < 3; i++ {
+		if _, err := w.Send([]byte{0x00}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var frames []Frame
+	e.Spawn("rx", func(p *event.Proc) {
+		for i := 0; i < 3; i++ {
+			frames = append(frames, w.Recv(p))
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if frames[0].Bytes[0] != 0 {
+		t.Fatal("frame 1 corrupted")
+	}
+	if frames[1].Bytes[0] != 1<<3 {
+		t.Fatalf("frame 2 = %#x, want bit 3 flipped", frames[1].Bytes[0])
+	}
+	if frames[2].Bytes[0] != 0 {
+		t.Fatal("frame 3 corrupted")
+	}
+	if w.Stats().Corrupted != 1 {
+		t.Fatalf("corrupted count = %d", w.Stats().Corrupted)
+	}
+}
+
+func TestFaultInjectionEvery(t *testing.T) {
+	e := event.New()
+	w := trainedWire(e)
+	w.SetFault(FlipBitEvery(4))
+	for i := 0; i < 16; i++ {
+		w.Send([]byte{0, 0})
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Corrupted; got != 4 {
+		t.Fatalf("corrupted = %d, want 4", got)
+	}
+	if got := w.Stats().Frames; got != 16 {
+		t.Fatalf("frames = %d", got)
+	}
+	if got := w.Stats().Bits; got != 16*16 {
+		t.Fatalf("bits = %d", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := event.New()
+	w := trainedWire(e)
+	w.Reset()
+	if w.Trained() {
+		t.Fatal("still trained after reset")
+	}
+	if _, err := w.Send([]byte{1}); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package machine assembles QCDOC nodes into a complete computer: the
+// six-dimensional torus of HSSL wires (Figure 2's red mesh), the slow
+// global clock that paces partition-interrupt sampling, software
+// partitioning and dimension folding (§3.1), the packaging hierarchy of
+// §2.4 (two nodes per daughterboard, 64-node motherboards as 2^6
+// hypercubes, eight motherboards per crate, two crates per water-cooled
+// rack), and the end-of-run link-checksum audit of §2.2.
+package machine
+
+import (
+	"fmt"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/hssl"
+	"qcdoc/internal/node"
+	"qcdoc/internal/scu"
+)
+
+// Config describes a machine build.
+type Config struct {
+	// Shape is the six-dimensional torus, e.g. 8x4x4x2x2x2 for the
+	// 1024-node machine of §4.
+	Shape geom.Shape
+	// Clock is the processor/link clock (§4 ran 360, 420, 450 MHz
+	// machines against a 500 MHz target).
+	Clock event.Hz
+	// SCU carries the serial-communications-unit parameters.
+	SCU scu.Config
+	// DDRBytes per node (0 = default 128 MB).
+	DDRBytes int
+	// WireProp is the node-to-node time of flight.
+	WireProp event.Time
+}
+
+// DefaultConfig returns the paper's target configuration for a given
+// shape.
+func DefaultConfig(shape geom.Shape) Config {
+	return Config{
+		Shape:    shape,
+		Clock:    500 * event.MHz,
+		SCU:      scu.DefaultConfig(),
+		WireProp: hssl.DefaultPropagation,
+	}
+}
+
+// Machine is a built QCDOC.
+type Machine struct {
+	Eng   *event.Engine
+	Cfg   Config
+	Nodes []*node.Node
+
+	// wires[rank][linkIndex] is the outbound wire of that node's link.
+	wires [][]*hssl.Wire
+
+	booted bool
+
+	// Global clock state for partition-interrupt windows.
+	windowPeriod event.Time
+	clockArmed   bool
+}
+
+// Build constructs the machine: nodes, torus wiring, and SCU attachment.
+// Nothing is powered yet; call Boot (or BootFast) next.
+func Build(eng *event.Engine, cfg Config) *Machine {
+	if !cfg.Shape.Valid() {
+		panic(fmt.Sprintf("machine: invalid shape %v", cfg.Shape))
+	}
+	if cfg.Clock == 0 {
+		cfg.Clock = 500 * event.MHz
+	}
+	if cfg.WireProp == 0 {
+		cfg.WireProp = hssl.DefaultPropagation
+	}
+	m := &Machine{Eng: eng, Cfg: cfg}
+	v := cfg.Shape.Volume()
+	m.Nodes = make([]*node.Node, v)
+	m.wires = make([][]*hssl.Wire, v)
+	for r := 0; r < v; r++ {
+		m.Nodes[r] = node.New(eng, r, cfg.Shape.CoordOf(r), cfg.Clock, cfg.SCU, cfg.DDRBytes)
+		m.wires[r] = make([]*hssl.Wire, geom.NumLinks)
+	}
+	// One outbound wire per (node, link); the inbound wire of link l on
+	// node n is the neighbour's outbound wire on the opposite link.
+	for r := 0; r < v; r++ {
+		c := cfg.Shape.CoordOf(r)
+		for _, l := range geom.AllLinks() {
+			name := fmt.Sprintf("w%d%v", r, l)
+			m.wires[r][geom.LinkIndex(l)] = hssl.NewWire(eng, name, cfg.Clock, cfg.WireProp)
+			_ = c
+		}
+	}
+	for r := 0; r < v; r++ {
+		c := cfg.Shape.CoordOf(r)
+		for _, l := range geom.AllLinks() {
+			nb := cfg.Shape.Rank(cfg.Shape.Neighbor(c, l.Dim, l.Dir))
+			out := m.wires[r][geom.LinkIndex(l)]
+			in := m.wires[nb][geom.LinkIndex(l.Opposite())]
+			m.Nodes[r].SCU.AttachLink(l, out, in)
+		}
+	}
+	// Window period: long enough for a partition interrupt to flood the
+	// whole machine before sampling (§2.2) — diameter hops of a 2-byte
+	// frame plus dispatch, with a 2x guard.
+	hop := cfg.Clock.Cycles(16) + cfg.WireProp
+	m.windowPeriod = 2 * event.Time(cfg.Shape.Diameter()+1) * hop
+	if min := 25 * event.Nanosecond; m.windowPeriod < min {
+		m.windowPeriod = min
+	}
+	// Arm the sampling clock whenever any SCU raises a partition
+	// interrupt.
+	for _, n := range m.Nodes {
+		n.SCU.WindowArm = m.armClock
+	}
+	return m
+}
+
+// NumNodes returns the machine size.
+func (m *Machine) NumNodes() int { return len(m.Nodes) }
+
+// WindowPeriod is the partition-interrupt sampling window.
+func (m *Machine) WindowPeriod() event.Time { return m.windowPeriod }
+
+// Wire returns the outbound wire of a node's link (for fault injection
+// and statistics in tests and experiments).
+func (m *Machine) Wire(rank int, l geom.Link) *hssl.Wire {
+	return m.wires[rank][geom.LinkIndex(l)]
+}
+
+// TrainLinks trains every HSSL link, one trainer per node in parallel,
+// as the hardware does when powered on and released from reset (§2.2).
+// It runs the engine until training completes.
+func (m *Machine) TrainLinks() error {
+	for r := range m.Nodes {
+		r := r
+		m.Eng.Spawn(fmt.Sprintf("train%d", r), func(p *event.Proc) {
+			for _, w := range m.wires[r] {
+				w.Train(p)
+			}
+		})
+	}
+	if err := m.Eng.RunAll(); err != nil {
+		return fmt.Errorf("machine: link training failed: %w", err)
+	}
+	return nil
+}
+
+// Boot is the fast bring-up used by benchmarks and most tests: train the
+// links, then walk every node through the boot protocol directly. The
+// packet-level protocol (JTAG load over Ethernet, run-kernel download,
+// §2.3/§3.1) lives in internal/qdaemon; use qdaemon.Daemon.BootAll for
+// the full path.
+func (m *Machine) Boot() error {
+	if err := m.TrainLinks(); err != nil {
+		return err
+	}
+	for _, n := range m.Nodes {
+		// Minimal stand-in for the JTAG code load.
+		n.LoadBootWord(0, 0x60000000)
+		if err := n.StartBootKernel(); err != nil {
+			return err
+		}
+		if err := n.StartRunKernel(); err != nil {
+			return err
+		}
+	}
+	m.booted = true
+	return nil
+}
+
+// MarkBooted records that the full boot protocol (driven externally by
+// the qdaemon) has completed, enabling SPMD job launch.
+func (m *Machine) MarkBooted() { m.booted = true }
+
+// armClock schedules a partition-interrupt sampling tick if none is
+// pending.
+func (m *Machine) armClock() {
+	if m.clockArmed {
+		return
+	}
+	m.clockArmed = true
+	m.Eng.After(m.windowPeriod, m.windowTick)
+}
+
+func (m *Machine) windowTick() {
+	m.clockArmed = false
+	again := false
+	for _, n := range m.Nodes {
+		n.SCU.WindowTick()
+		if n.SCU.PartIRQPending() != n.SCU.PartIRQStatus() {
+			again = true
+		}
+	}
+	if again {
+		m.armClock()
+	}
+}
+
+// RunSPMD starts the same program on every node (the machine's natural
+// mode: §1's trivial decomposition) and runs the simulation until all
+// application threads finish. It returns the first application error.
+func (m *Machine) RunSPMD(name string, prog func(rank int) node.Program) error {
+	if !m.booted {
+		return fmt.Errorf("machine: not booted")
+	}
+	for r, n := range m.Nodes {
+		if err := n.RunProgram(name, prog(r)); err != nil {
+			return err
+		}
+	}
+	if err := m.Eng.RunAll(); err != nil {
+		return err
+	}
+	for _, n := range m.Nodes {
+		done, err := n.AppDone()
+		if !done {
+			return fmt.Errorf("machine: %s did not finish", n.Name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyChecksums performs the §2.2 end-of-calculation audit: for every
+// link, the transmit-side checksum must equal the receive-side checksum
+// kept by the neighbour. It returns the number of links checked.
+func (m *Machine) VerifyChecksums() (int, error) {
+	checked := 0
+	for r, n := range m.Nodes {
+		c := m.Cfg.Shape.CoordOf(r)
+		for _, l := range geom.AllLinks() {
+			nb := m.Cfg.Shape.Rank(m.Cfg.Shape.Neighbor(c, l.Dim, l.Dir))
+			tx, _ := n.SCU.Checksums(l)
+			_, rx := m.Nodes[nb].SCU.Checksums(l.Opposite())
+			if !tx.Equal(&rx) {
+				return checked, fmt.Errorf("machine: checksum mismatch %s link %v -> node %d: tx %d words %#x, rx %d words %#x",
+					n.Name, l, nb, tx.Count(), tx.Sum(), rx.Count(), rx.Sum())
+			}
+			checked++
+		}
+	}
+	return checked, nil
+}
+
+// Stats sums SCU counters over all nodes.
+func (m *Machine) Stats() scu.Stats {
+	var total scu.Stats
+	for _, n := range m.Nodes {
+		s := n.SCU.Stats()
+		total = addStats(total, s)
+	}
+	return total
+}
+
+func addStats(a, b scu.Stats) scu.Stats {
+	a.WordsSent += b.WordsSent
+	a.WordsReceived += b.WordsReceived
+	a.AcksSent += b.AcksSent
+	a.NaksSent += b.NaksSent
+	a.Resends += b.Resends
+	a.ParityErrors += b.ParityErrors
+	a.HeaderErrors += b.HeaderErrors
+	a.Duplicates += b.Duplicates
+	a.SupsSent += b.SupsSent
+	a.SupsReceived += b.SupsReceived
+	a.PartIRQsSent += b.PartIRQsSent
+	a.PartIRQsRecvd += b.PartIRQsRecvd
+	return a
+}

@@ -1,0 +1,260 @@
+package machine
+
+import (
+	"testing"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/node"
+	"qcdoc/internal/scu"
+)
+
+func buildBooted(t *testing.T, shape geom.Shape) (*event.Engine, *Machine) {
+	t.Helper()
+	eng := event.New()
+	m := Build(eng, DefaultConfig(shape))
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Shutdown() })
+	return eng, m
+}
+
+func TestBuildAndBoot(t *testing.T) {
+	_, m := buildBooted(t, geom.MakeShape(2, 2, 2))
+	if m.NumNodes() != 8 {
+		t.Fatalf("nodes = %d", m.NumNodes())
+	}
+	for _, n := range m.Nodes {
+		if n.State() != node.RunKernel {
+			t.Fatalf("%s in state %v after boot", n.Name, n.State())
+		}
+		if n.BootWords() == 0 {
+			t.Fatal("node booted without loading code (no PROMs!)")
+		}
+	}
+}
+
+func TestNeighborTransferAcrossMachine(t *testing.T) {
+	// Every node sends its rank (as 8 words) to its +0 neighbour; all
+	// transfers run concurrently over the real wiring.
+	_, m := buildBooted(t, geom.MakeShape(4, 2))
+	shape := m.Cfg.Shape
+	err := m.RunSPMD("ring", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			n := ctx.N
+			sendAddr := n.AllocWords(8)
+			recvAddr := n.AllocWords(8)
+			for i := 0; i < 8; i++ {
+				n.Mem.WriteWord(sendAddr+8*uint64(i), uint64(rank*100+i))
+			}
+			rt, err := n.SCU.StartRecv(geom.Link{Dim: 0, Dir: geom.Bwd}, scu.Contiguous(recvAddr, 8))
+			if err != nil {
+				panic(err)
+			}
+			st, err := n.SCU.StartSend(geom.Link{Dim: 0, Dir: geom.Fwd}, scu.Contiguous(sendAddr, 8))
+			if err != nil {
+				panic(err)
+			}
+			st.Wait(ctx.P)
+			rt.Wait(ctx.P)
+			// Verify data from the -0 neighbour.
+			prev := shape.Rank(shape.Neighbor(n.Coord, 0, geom.Bwd))
+			for i := 0; i < 8; i++ {
+				got := n.Mem.ReadWord(recvAddr + 8*uint64(i))
+				want := uint64(prev*100 + i)
+				if got != want {
+					panic("wrong halo word")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := m.VerifyChecksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != 8*geom.NumLinks {
+		t.Fatalf("checked %d links", checked)
+	}
+	st := m.Stats()
+	if st.WordsSent != 8*8 || st.WordsReceived != 8*8 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPartitionInterruptMachineWide(t *testing.T) {
+	eng, m := buildBooted(t, geom.MakeShape(4, 2, 2))
+	seen := make([]uint8, m.NumNodes())
+	for r, n := range m.Nodes {
+		r := r
+		n.SCU.OnPartIRQ(func(mask uint8) { seen[r] = mask })
+	}
+	// One node raises; after the sampling window every node's CPU must
+	// have been interrupted.
+	m.Nodes[5].SCU.RaisePartIRQ(0x02)
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for r := range seen {
+		if seen[r] != 0x02 {
+			t.Fatalf("node %d saw %#x", r, seen[r])
+		}
+		if m.Nodes[r].SCU.PartIRQStatus() != 0x02 {
+			t.Fatalf("node %d status %#x", r, m.Nodes[r].SCU.PartIRQStatus())
+		}
+	}
+	// The engine quiesced: the sampling clock stopped rescheduling.
+	if eng.Pending() != 0 {
+		t.Fatalf("%d events still pending", eng.Pending())
+	}
+}
+
+func TestRunSPMDCollectsPanics(t *testing.T) {
+	_, m := buildBooted(t, geom.MakeShape(2))
+	err := m.RunSPMD("boom", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			if rank == 1 {
+				panic("deliberate")
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+}
+
+func TestBootStateMachine(t *testing.T) {
+	eng := event.New()
+	defer eng.Shutdown()
+	n := node.New(eng, 0, geom.Coord{}, 500*event.MHz, scu.DefaultConfig(), 0)
+	// Cannot run an app or the run kernel from reset.
+	if err := n.StartRunKernel(); err == nil {
+		t.Fatal("run kernel started from reset")
+	}
+	if err := n.RunProgram("x", func(*node.Ctx) {}); err == nil {
+		t.Fatal("app started from reset")
+	}
+	// Cannot start the boot kernel with no code loaded.
+	if err := n.StartBootKernel(); err == nil {
+		t.Fatal("boot kernel started with no code")
+	}
+	n.LoadBootWord(0, 1)
+	if err := n.StartBootKernel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.StartRunKernel(); err != nil {
+		t.Fatal(err)
+	}
+	if n.State() != node.RunKernel {
+		t.Fatalf("state = %v", n.State())
+	}
+}
+
+func TestPackaging1024(t *testing.T) {
+	// E7: a 1024-node water-cooled rack is 1 Tflops peak and under 10 kW
+	// (§2.4, Figure 5).
+	p := PackagingFor(1024, 500*event.MHz)
+	if p.Racks != 1 || p.Crates != 2 || p.Motherboards != 16 || p.Daughterboards != 512 {
+		t.Fatalf("packaging: %+v", p)
+	}
+	if p.PeakTeraflops != 1.024 {
+		t.Fatalf("peak = %v Tflops", p.PeakTeraflops)
+	}
+	if p.PowerWatts >= 10000 {
+		t.Fatalf("rack power %v W, paper says < 10 kW", p.PowerWatts)
+	}
+}
+
+func TestPackaging12288(t *testing.T) {
+	// E7: the 12,288-node machines are 12 racks; ~60 ft^2 footprint and
+	// 10+ Tflops peak at 420+ MHz.
+	p := PackagingFor(12288, 450*event.MHz)
+	if p.Racks != 12 {
+		t.Fatalf("racks = %d", p.Racks)
+	}
+	if p.FootprintSqFt < 55 || p.FootprintSqFt > 65 {
+		t.Fatalf("footprint = %v ft^2, paper says ~60", p.FootprintSqFt)
+	}
+	if p.PeakTeraflops < 10 {
+		t.Fatalf("peak = %v Tflops, paper says 10+", p.PeakTeraflops)
+	}
+	if Machine12288Shape().Volume() != 12288 {
+		t.Fatal("12288 shape volume wrong")
+	}
+}
+
+func TestMachineShapes(t *testing.T) {
+	if Machine1024Shape().Volume() != 1024 {
+		t.Fatal("1024 shape")
+	}
+	if Machine4096Shape().Volume() != 4096 {
+		t.Fatal("4096 shape")
+	}
+	if MotherboardShape().Volume() != 64 {
+		t.Fatal("motherboard shape")
+	}
+	for _, n := range []int{1, 2, 64, 128, 512, 1024, 4096, 12288} {
+		if GuessShape(n).Volume() != n {
+			t.Fatalf("GuessShape(%d) volume wrong", n)
+		}
+	}
+}
+
+// TestE14Wiring audits the network schematic of Figure 2 functionally:
+// on a full 2^6 motherboard hypercube, every node sends a tagged word on
+// all 12 links and must receive, on each link, exactly the word the
+// correct neighbour sent toward it.
+func TestE14Wiring(t *testing.T) {
+	_, m := buildBooted(t, MotherboardShape())
+	shape := m.Cfg.Shape
+	for _, n := range m.Nodes {
+		for _, l := range geom.AllLinks() {
+			if !n.SCU.Attached(l) {
+				t.Fatalf("%s link %v not attached", n.Name, l)
+			}
+		}
+	}
+	err := m.RunSPMD("wiring-audit", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			n := ctx.N
+			var recvs [geom.NumLinks]*scu.Transfer
+			addrs := make([]uint64, geom.NumLinks)
+			for i, l := range geom.AllLinks() {
+				addrs[i] = n.AllocWords(1)
+				rt, err := n.SCU.StartRecv(l, scu.Contiguous(addrs[i], 1))
+				if err != nil {
+					panic(err)
+				}
+				recvs[i] = rt
+			}
+			for i, l := range geom.AllLinks() {
+				sendAddr := n.AllocWords(1)
+				// Tag: sender rank and the link it transmits on.
+				n.Mem.WriteWord(sendAddr, uint64(rank)<<8|uint64(i))
+				if _, err := n.SCU.StartSend(l, scu.Contiguous(sendAddr, 1)); err != nil {
+					panic(err)
+				}
+			}
+			for i, l := range geom.AllLinks() {
+				recvs[i].Wait(ctx.P)
+				got := n.Mem.ReadWord(addrs[i])
+				// Data arriving on my link l was sent by the (dim,dir)
+				// neighbour on its opposite link.
+				nb := shape.Rank(shape.Neighbor(n.Coord, l.Dim, l.Dir))
+				want := uint64(nb)<<8 | uint64(geom.LinkIndex(l.Opposite()))
+				if got != want {
+					panic("miswired link")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+}

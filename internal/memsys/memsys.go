@@ -1,0 +1,233 @@
+// Package memsys models the QCDOC node's memory system (§2.1): 4 MBytes
+// of on-chip embedded DRAM behind a prefetching controller that feeds the
+// PPC 440 data cache 128 bits per processor cycle (8 GB/s at 500 MHz),
+// plus an external DDR SDRAM controller on the PLB with 2.6 GB/s and up
+// to 2 GB per node.
+//
+// The package provides two things:
+//
+//   - NodeMemory: the functional store — a flat 64-bit word address space
+//     with EDRAM at low addresses and DDR above it, used by the simulated
+//     SCU DMA engines and node programs;
+//   - Model: the timing model — sustained bandwidths per level for bulk
+//     (DMA/prefetch-friendly) and compute-kernel (load-issue-limited)
+//     access, with the prefetching controller's two-stream rule and page
+//     miss penalties.
+package memsys
+
+import (
+	"fmt"
+
+	"qcdoc/internal/event"
+)
+
+// Level identifies which memory a kernel's working set lives in.
+type Level int
+
+const (
+	// EDRAM is the 4 MB on-chip embedded DRAM.
+	EDRAM Level = iota
+	// DDR is the external DDR SDRAM DIMM.
+	DDR
+)
+
+func (l Level) String() string {
+	if l == EDRAM {
+		return "EDRAM"
+	}
+	return "DDR"
+}
+
+// Architectural constants from §2.1.
+const (
+	// EDRAMBytes is the embedded DRAM capacity: 4 MBytes.
+	EDRAMBytes = 4 << 20
+	// EDRAMRowBytes is one EDRAM access: 1024 bits plus ECC.
+	EDRAMRowBytes = 128
+	// DefaultDDRBytes is the default external memory per node. Nodes in
+	// the 4096-node machine carried 128 or 256 MBytes (§4); up to 2 GB is
+	// supported.
+	DefaultDDRBytes = 128 << 20
+	// MaxDDRBytes is the architectural limit.
+	MaxDDRBytes = 2 << 30
+	// PrefetchStreams is the number of concurrent contiguous streams the
+	// EDRAM controller prefetches without page-miss stalls (§2.1: "the
+	// EDRAM controller maintains two prefetching streams").
+	PrefetchStreams = 2
+)
+
+// NodeMemory is the functional local memory of one node: EDRAM occupies
+// [0, EDRAMBytes), DDR occupies [EDRAMBytes, EDRAMBytes+ddrBytes). It
+// implements the SCU's Memory interface.
+type NodeMemory struct {
+	edram    []uint64
+	ddr      []uint64
+	ddrBytes uint64
+}
+
+// NewNodeMemory allocates a node memory with the given DDR size (0 means
+// DefaultDDRBytes). To keep large simulated machines cheap, both regions
+// are grown lazily on first touch.
+func NewNodeMemory(ddrBytes int) *NodeMemory {
+	if ddrBytes == 0 {
+		ddrBytes = DefaultDDRBytes
+	}
+	if ddrBytes < 0 || ddrBytes > MaxDDRBytes {
+		panic(fmt.Sprintf("memsys: invalid DDR size %d", ddrBytes))
+	}
+	return &NodeMemory{ddrBytes: uint64(ddrBytes)}
+}
+
+// DDRBytes returns the installed external memory size.
+func (m *NodeMemory) DDRBytes() int { return int(m.ddrBytes) }
+
+// ensure grows the backing slice to cover word index i.
+func ensure(s []uint64, i int) []uint64 {
+	if i < len(s) {
+		return s
+	}
+	n := len(s)
+	if n == 0 {
+		n = 1024
+	}
+	for n <= i {
+		n *= 2
+	}
+	grown := make([]uint64, n)
+	copy(grown, s)
+	return grown
+}
+
+// ReadWord returns the 64-bit word at byte address addr (8-aligned).
+func (m *NodeMemory) ReadWord(addr uint64) uint64 {
+	region, idx := m.locate(addr)
+	if idx >= len(*region) {
+		return 0 // untouched memory reads as zero
+	}
+	return (*region)[idx]
+}
+
+// WriteWord stores a 64-bit word at byte address addr (8-aligned).
+func (m *NodeMemory) WriteWord(addr uint64, w uint64) {
+	region, idx := m.locate(addr)
+	*region = ensure(*region, idx)
+	(*region)[idx] = w
+}
+
+func (m *NodeMemory) locate(addr uint64) (*[]uint64, int) {
+	if addr%8 != 0 {
+		panic(fmt.Sprintf("memsys: unaligned word access at %#x", addr))
+	}
+	if addr < EDRAMBytes {
+		return &m.edram, int(addr / 8)
+	}
+	off := addr - EDRAMBytes
+	if off >= m.ddrBytes {
+		panic(fmt.Sprintf("memsys: address %#x beyond installed DDR (%d bytes)", addr, m.ddrBytes))
+	}
+	return &m.ddr, int(off / 8)
+}
+
+// LevelOf reports which memory a byte address falls in.
+func LevelOf(addr uint64) Level {
+	if addr < EDRAMBytes {
+		return EDRAM
+	}
+	return DDR
+}
+
+// DDRBase is the first byte address of external memory.
+const DDRBase uint64 = EDRAMBytes
+
+// Model is the memory-system timing model. Two bandwidth regimes per
+// level:
+//
+//   - Bus bandwidth: what the hardware datapath moves for bulk,
+//     prefetch-friendly access (DMA, streaming): EDRAM 16 B/cycle
+//     (8 GB/s at 500 MHz), DDR 5.2 B/cycle (2.6 GB/s).
+//   - Kernel bandwidth: what a compute kernel's load/store pipeline
+//     sustains through the data cache, including issue limits and
+//     load-use stalls. Calibrated against the paper's measured solver
+//     efficiencies (see internal/perf).
+type Model struct {
+	Clock event.Hz
+
+	// Bus bytes per cycle (peak datapath).
+	EDRAMBusBPC float64
+	DDRBusBPC   float64
+
+	// Kernel-sustained bytes per cycle for compute access patterns.
+	EDRAMKernelBPC float64
+	DDRKernelBPC   float64
+
+	// PageMissCycles is charged per row activation when more concurrent
+	// streams are in flight than the prefetcher covers.
+	PageMissCycles float64
+}
+
+// DefaultModel returns the 500 MHz model with the paper's datapath widths
+// and the calibrated kernel bandwidths (see internal/perf for the
+// calibration discussion).
+func DefaultModel() Model {
+	return Model{
+		Clock:          500 * event.MHz,
+		EDRAMBusBPC:    16,   // 8 GB/s at 500 MHz (§2.1)
+		DDRBusBPC:      5.2,  // 2.6 GB/s (§2.1)
+		EDRAMKernelBPC: 1.75, // calibrated: load-issue + stall limited
+		DDRKernelBPC:   1.31, // calibrated: gives ~30% Wilson efficiency from DDR (§4)
+		PageMissCycles: 11,
+	}
+}
+
+// BusBPC returns the bulk bytes-per-cycle for a level.
+func (m Model) BusBPC(l Level) float64 {
+	if l == EDRAM {
+		return m.EDRAMBusBPC
+	}
+	return m.DDRBusBPC
+}
+
+// KernelBPC returns the compute-kernel bytes-per-cycle for a level.
+func (m Model) KernelBPC(l Level) float64 {
+	if l == EDRAM {
+		return m.EDRAMKernelBPC
+	}
+	return m.DDRKernelBPC
+}
+
+// BusBandwidth returns the peak datapath bandwidth in bytes/second.
+func (m Model) BusBandwidth(l Level) float64 {
+	return m.BusBPC(l) * float64(m.Clock)
+}
+
+// StreamCycles models a bulk streaming access of the given byte count
+// with nStreams concurrent address streams: at or under the prefetcher's
+// stream count the transfer runs at bus speed; beyond it, every row
+// activation pays the page-miss penalty (§2.1's motivation for the
+// two-stream prefetcher: "for an operation involving a(x) × b(x) ... the
+// EDRAM controller will fetch data without suffering excessive page miss
+// overheads").
+func (m Model) StreamCycles(l Level, bytes int, nStreams int) float64 {
+	base := float64(bytes) / m.BusBPC(l)
+	if nStreams <= PrefetchStreams {
+		return base
+	}
+	rows := float64(bytes) / EDRAMRowBytes
+	return base + rows*m.PageMissCycles
+}
+
+// KernelCycles models a compute kernel moving the given bytes through the
+// load/store pipeline.
+func (m Model) KernelCycles(l Level, bytes int) float64 {
+	return float64(bytes) / m.KernelBPC(l)
+}
+
+// StreamTime converts StreamCycles to simulated time.
+func (m Model) StreamTime(l Level, bytes, nStreams int) event.Time {
+	return event.Time(m.StreamCycles(l, bytes, nStreams) * float64(m.Clock.Cycle()))
+}
+
+// FitsEDRAM reports whether a working set of the given bytes is
+// EDRAM-resident (§4: "for most of the fermion formulations, a 6^4 local
+// volume still fits in our 4 Megabytes of embedded memory").
+func FitsEDRAM(bytes int) bool { return bytes <= EDRAMBytes }

@@ -1,0 +1,220 @@
+// Package node assembles one QCDOC processing node: the ASIC of Figure 1
+// (PPC 440 compute model, prefetching EDRAM controller and DDR SDRAM
+// behind the memory model, the SCU serial communications unit, and the
+// Ethernet/JTAG management endpoints) plus the external DDR SDRAM DIMM.
+// A node executes node programs — Go functions standing in for the
+// application binaries the real machine loads over Ethernet — under the
+// booting discipline of §2.3/§3.1: a PROM-less part comes up in reset,
+// receives a boot kernel by JTAG, and only then runs code.
+package node
+
+import (
+	"fmt"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/memsys"
+	"qcdoc/internal/ppc440"
+	"qcdoc/internal/scu"
+)
+
+// State is the node's lifecycle state.
+type State int
+
+const (
+	// Reset: powered on, no code (there are no PROMs on QCDOC; only the
+	// Ethernet/JTAG controller is alive).
+	Reset State = iota
+	// BootKernel: the JTAG-loaded boot kernel is running; basic hardware
+	// tests possible, standard Ethernet initialized.
+	BootKernel
+	// RunKernel: the run kernel is resident; SCU initialized; ready for
+	// applications.
+	RunKernel
+	// AppRunning: a user application thread is executing.
+	AppRunning
+)
+
+func (s State) String() string {
+	switch s {
+	case Reset:
+		return "reset"
+	case BootKernel:
+		return "boot-kernel"
+	case RunKernel:
+		return "run-kernel"
+	case AppRunning:
+		return "app-running"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Ctx is the execution context a node program receives: the simulation
+// process it runs on and the node hardware it runs on.
+type Ctx struct {
+	P *event.Proc
+	N *Node
+}
+
+// Program is a node application: the stand-in for a cross-compiled
+// binary.
+type Program func(ctx *Ctx)
+
+// Node is one processing node.
+type Node struct {
+	Eng   *event.Engine
+	Rank  int
+	Coord geom.Coord
+	Name  string
+
+	Mem      *memsys.NodeMemory
+	MemModel memsys.Model
+	CPU      ppc440.CPU
+	SCU      *scu.SCU
+
+	state     State
+	bootWords int
+	appProc   *event.Proc
+	appDone   bool
+	appErr    error
+
+	// brk is the bump-allocator frontier for node program data.
+	brk uint64
+
+	// Sys is the system-services slot: the run kernel installs itself
+	// here so applications can reach their system-call surface.
+	Sys any
+}
+
+// bootReserved is the memory reserved for kernels at the bottom of
+// EDRAM.
+const bootReserved = 256 << 10
+
+// New builds a node. ddrBytes of 0 selects the default DIMM size.
+func New(eng *event.Engine, rank int, coord geom.Coord, clock event.Hz, scuCfg scu.Config, ddrBytes int) *Node {
+	mem := memsys.NewNodeMemory(ddrBytes)
+	model := memsys.DefaultModel()
+	model.Clock = clock
+	n := &Node{
+		Eng:      eng,
+		Rank:     rank,
+		Coord:    coord,
+		Name:     fmt.Sprintf("node%d", rank),
+		Mem:      mem,
+		MemModel: model,
+		CPU:      ppc440.At(clock),
+		state:    Reset,
+		brk:      bootReserved,
+	}
+	scuCfg.Clock = clock
+	n.SCU = scu.New(eng, n.Name, mem, scuCfg)
+	return n
+}
+
+// State returns the lifecycle state.
+func (n *Node) State() State { return n.state }
+
+// LoadBootWord models one word of boot-kernel code arriving by JTAG
+// (written directly into the instruction cache, §3.1). Loading any code
+// moves a reset node to the boot kernel state once started.
+func (n *Node) LoadBootWord(addr uint64, w uint64) {
+	n.Mem.WriteWord(addr, w)
+	n.bootWords++
+}
+
+// BootWords reports how many code words have been loaded.
+func (n *Node) BootWords() int { return n.bootWords }
+
+// StartBootKernel begins executing the JTAG-loaded boot kernel.
+func (n *Node) StartBootKernel() error {
+	if n.state != Reset {
+		return fmt.Errorf("node %s: boot kernel start in state %v", n.Name, n.state)
+	}
+	if n.bootWords == 0 {
+		return fmt.Errorf("node %s: no boot code loaded (no PROMs on QCDOC)", n.Name)
+	}
+	n.state = BootKernel
+	return nil
+}
+
+// StartRunKernel installs the run kernel (loaded over the standard
+// Ethernet) and initializes the SCU.
+func (n *Node) StartRunKernel() error {
+	if n.state != BootKernel {
+		return fmt.Errorf("node %s: run kernel start in state %v", n.Name, n.state)
+	}
+	n.state = RunKernel
+	n.SCU.Start()
+	return nil
+}
+
+// ForceReady skips the boot protocol: used by benchmarks and tests that
+// exercise the network and application layers directly.
+func (n *Node) ForceReady() {
+	if n.state == Reset {
+		n.bootWords++
+		n.state = BootKernel
+	}
+	if n.state == BootKernel {
+		n.state = RunKernel
+		n.SCU.Start()
+	}
+}
+
+// RunProgram starts the application thread (§3.2: the run kernel has a
+// kernel thread and an application thread; no multitasking). The node
+// returns to RunKernel state when the program finishes. A panic in the
+// program is captured as the application error.
+func (n *Node) RunProgram(name string, prog Program) error {
+	if n.state != RunKernel {
+		return fmt.Errorf("node %s: cannot run application in state %v", n.Name, n.state)
+	}
+	n.state = AppRunning
+	n.appDone = false
+	n.appErr = nil
+	n.appProc = n.Eng.Spawn(n.Name+" app "+name, func(p *event.Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				n.appErr = fmt.Errorf("node %s: application panic: %v", n.Name, r)
+			}
+			n.state = RunKernel
+			n.appDone = true
+		}()
+		prog(&Ctx{P: p, N: n})
+	})
+	return nil
+}
+
+// AppDone reports whether the last application finished, and its error.
+func (n *Node) AppDone() (bool, error) { return n.appDone, n.appErr }
+
+// AllocWords reserves n contiguous 64-bit words of node memory and
+// returns the byte address; allocation is EDRAM-first, spilling into DDR
+// exactly as §4 describes for large local volumes.
+func (n *Node) AllocWords(words int) uint64 {
+	addr := n.brk
+	n.brk += uint64(words) * 8
+	if n.brk > memsys.DDRBase+uint64(n.Mem.DDRBytes()) {
+		panic(fmt.Sprintf("node %s: out of memory (brk %#x)", n.Name, n.brk))
+	}
+	return addr
+}
+
+// AllocLevel reports which memory the most recent allocations landed in.
+func (n *Node) AllocLevel() memsys.Level { return memsys.LevelOf(n.brk - 1) }
+
+// WriteF64 stores a float64 at a word address.
+func (n *Node) WriteF64(addr uint64, v float64) {
+	n.Mem.WriteWord(addr, f64bits(v))
+}
+
+// ReadF64 loads a float64 from a word address.
+func (n *Node) ReadF64(addr uint64) float64 {
+	return f64frombits(n.Mem.ReadWord(addr))
+}
+
+// Compute charges the node's CPU with a kernel execution.
+func (n *Node) Compute(p *event.Proc, k ppc440.KernelCost) {
+	n.CPU.Execute(p, k, n.MemModel)
+}

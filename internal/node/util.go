@@ -1,0 +1,6 @@
+package node
+
+import "math"
+
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,93 @@
+package qdaemon
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/machine"
+)
+
+// Qcsh is the command-line interface to QCDOC (§3.1): "a modified UNIX
+// tcsh ... gathers commands to send to the qdaemon and manages the
+// returning data stream". This implementation is the command
+// interpreter; cmd/qdaemon wraps it in a REPL.
+type Qcsh struct {
+	D *Daemon
+}
+
+// Exec runs one command line and returns its output.
+func (q *Qcsh) Exec(p *event.Proc, line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	d := q.D
+	switch fields[0] {
+	case "help":
+		return "commands: boot | status <rank> | run <job> <program> | remap <dims> | output <job> | ls | cat <file> | packaging | power", nil
+	case "boot":
+		if err := d.BootAll(p); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("booted %d nodes", d.M.NumNodes()), nil
+	case "status":
+		if len(fields) < 2 {
+			return "", fmt.Errorf("qcsh: status <rank>")
+		}
+		rank, err := strconv.Atoi(fields[1])
+		if err != nil || rank < 0 || rank >= d.M.NumNodes() {
+			return "", fmt.Errorf("qcsh: bad rank %q", fields[1])
+		}
+		return d.Status(p, rank)
+	case "run":
+		if len(fields) < 3 {
+			return "", fmt.Errorf("qcsh: run <job> <program>")
+		}
+		reports, err := d.Run(p, fields[1], fields[2])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("job %s completed on %d nodes", fields[1], len(reports)), nil
+	case "remap":
+		if len(fields) < 2 {
+			return "", fmt.Errorf("qcsh: remap <dims>")
+		}
+		dims, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return "", fmt.Errorf("qcsh: bad dimensionality %q", fields[1])
+		}
+		if err := d.Remap(dims); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("partition remapped to %v", d.Fold().Logical()), nil
+	case "output":
+		if len(fields) < 2 {
+			return "", fmt.Errorf("qcsh: output <job>")
+		}
+		return strings.Join(d.Output[fields[1]], "\n"), nil
+	case "ls":
+		names := make([]string, 0, len(d.FS))
+		for n := range d.FS {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return strings.Join(names, "\n"), nil
+	case "cat":
+		if len(fields) < 2 {
+			return "", fmt.Errorf("qcsh: cat <file>")
+		}
+		data, ok := d.FS[fields[1]]
+		if !ok {
+			return "", fmt.Errorf("qcsh: no such file %q", fields[1])
+		}
+		return string(data), nil
+	case "packaging", "power":
+		pk := machine.PackagingFor(d.M.NumNodes(), d.M.Cfg.Clock)
+		return pk.String(), nil
+	default:
+		return "", fmt.Errorf("qcsh: unknown command %q (try help)", fields[0])
+	}
+}

@@ -1,0 +1,348 @@
+// Package qdaemon is the host-side software of §3.1: the daemon running
+// on the commercial SMP host that boots QCDOC over the Ethernet/JTAG
+// network, loads run kernels over the standard Ethernet, tracks node
+// status, manages machine partitions (including remapping to lower
+// dimensionality), launches applications by RPC, collects their output,
+// and serves the NFS shim backing the nodes' file writes. The qcsh
+// command layer (qcsh.go) provides the user-facing command interface.
+package qdaemon
+
+import (
+	"fmt"
+	"strings"
+
+	"qcdoc/internal/ethjtag"
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/machine"
+	"qcdoc/internal/node"
+	"qcdoc/internal/qos"
+)
+
+// BootKernelPackets is the approximate number of Ethernet/JTAG packets
+// that carry the boot kernel (§3.1: "each node receives about 100 UDP
+// packets ... written directly into the instruction cache").
+const BootKernelPackets = 100
+
+// nodeTarget adapts a node to the JTAG controller's chip surface.
+type nodeTarget struct{ n *node.Node }
+
+func (t nodeTarget) ReadWord(a uint64) uint64        { return t.n.Mem.ReadWord(a) }
+func (t nodeTarget) WriteWord(a uint64, w uint64)    { t.n.Mem.WriteWord(a, w) }
+func (t nodeTarget) LoadBootWord(a uint64, w uint64) { t.n.LoadBootWord(a, w) }
+func (t nodeTarget) StartBootKernel() error          { return t.n.StartBootKernel() }
+func (t nodeTarget) StateCode() uint64               { return uint64(t.n.State()) }
+
+// Daemon is the qdaemon.
+type Daemon struct {
+	Eng *event.Engine
+	M   *machine.Machine
+	Net *ethjtag.Network
+
+	// The daemon uses multiple Gigabit Ethernet links (§3.1: "the
+	// physical connection to QCDOC is via multiple Gigabit Ethernet
+	// links"): Ctl carries synchronous request/reply traffic (JTAG
+	// commands, kernel loads, job launches), Host receives asynchronous
+	// node events (completions, stdout), and NFS serves the file shim.
+	Ctl  *ethjtag.Port
+	Host *ethjtag.Port
+	NFS  *ethjtag.Port
+
+	Kernels []*qos.Kernel
+	JTAGs   []*ethjtag.JTAGController
+
+	// FS is the host's RAID storage (§4: 6 TB of parallel RAID).
+	FS map[string][]byte
+	// Output collects application stdout lines per job.
+	Output map[string][]string
+	// doneCount tracks per-job completion RPCs.
+	doneCount map[string]int
+	doneGate  *event.Gate
+	hwReports map[string][]string
+	activeJob string
+
+	// fold is the current partition mapping (§3.1: "a user requests that
+	// the qdaemon remap their partition to a dimensionality between one
+	// and six").
+	fold *geom.Fold
+
+	booted bool
+}
+
+// New wires a daemon to a built (untrained, unbooted) machine: it
+// creates the management network with one standard-Ethernet and one
+// JTAG port per node, the per-node run kernels, and the host ports, and
+// starts every service loop.
+func New(eng *event.Engine, m *machine.Machine) *Daemon {
+	d := &Daemon{
+		Eng:       eng,
+		M:         m,
+		Net:       ethjtag.NewNetwork(eng),
+		FS:        map[string][]byte{},
+		Output:    map[string][]string{},
+		doneCount: map[string]int{},
+		hwReports: map[string][]string{},
+		fold:      geom.IdentityFold(m.Cfg.Shape),
+	}
+	d.doneGate = event.NewGate(eng)
+	d.Host = d.Net.Attach(ethjtag.HostAddr, ethjtag.HostEthernetBps)
+	d.NFS = d.Net.Attach(ethjtag.HostAddr+1, ethjtag.HostEthernetBps)
+	d.Ctl = d.Net.Attach(ethjtag.HostAddr+2, ethjtag.HostEthernetBps)
+	for r, n := range m.Nodes {
+		eth := d.Net.Attach(ethjtag.NodeEthAddr(r), ethjtag.NodeEthernetBps)
+		jp := d.Net.Attach(ethjtag.NodeJTAGAddr(r), ethjtag.NodeEthernetBps)
+		k := qos.NewKernel(n, eth, ethjtag.HostAddr)
+		k.NFS = ethjtag.HostAddr + 1
+		k.Start(eng)
+		ctl := &ethjtag.JTAGController{Port: jp, Target: nodeTarget{n}}
+		ctl.Start(eng)
+		d.Kernels = append(d.Kernels, k)
+		d.JTAGs = append(d.JTAGs, ctl)
+	}
+	eng.SpawnDaemon("qdaemon host", d.hostLoop)
+	eng.SpawnDaemon("qdaemon nfs", d.nfsLoop)
+	return d
+}
+
+// hostLoop collects application completions and stdout.
+func (d *Daemon) hostLoop(p *event.Proc) {
+	for {
+		pkt := d.Host.Recv(p)
+		if pkt.Port != ethjtag.PortRPC {
+			continue
+		}
+		fields := strings.Fields(string(pkt.Payload))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "done":
+			if len(fields) >= 3 {
+				job := fields[1]
+				d.doneCount[job]++
+				d.hwReports[job] = append(d.hwReports[job], strings.Join(fields[2:], " "))
+				d.doneGate.Fire()
+			}
+		case "stdout":
+			if len(fields) >= 4 {
+				// stdout <node> <seq> <text...> — attribute to the active job.
+				line := fmt.Sprintf("%s: %s", fields[1], strings.Join(fields[3:], " "))
+				d.Output[d.activeJob] = append(d.Output[d.activeJob], line)
+			}
+		}
+	}
+}
+
+// nfsLoop serves the NFS shim: chunked writes land in the host FS.
+func (d *Daemon) nfsLoop(p *event.Proc) {
+	type pending struct {
+		chunks map[int][]byte
+		total  int
+	}
+	open := map[string]*pending{}
+	for {
+		pkt := d.NFS.Recv(p)
+		if pkt.Port != ethjtag.PortNFS {
+			continue
+		}
+		// "write <name> <i> <total> <data...>"
+		s := string(pkt.Payload)
+		var name string
+		var i, total int
+		idx := strings.Index(s, " ")
+		if idx < 0 || s[:idx] != "write" {
+			continue
+		}
+		rest := s[idx+1:]
+		sp := strings.SplitN(rest, " ", 4)
+		if len(sp) < 4 {
+			continue
+		}
+		name = sp[0]
+		fmt.Sscanf(sp[1], "%d", &i)
+		fmt.Sscanf(sp[2], "%d", &total)
+		key := fmt.Sprintf("%s|%d", name, pkt.Src)
+		pd := open[key]
+		if pd == nil {
+			pd = &pending{chunks: map[int][]byte{}, total: total}
+			open[key] = pd
+		}
+		pd.chunks[i] = []byte(sp[3])
+		if len(pd.chunks) == pd.total {
+			var data []byte
+			for c := 0; c < pd.total; c++ {
+				data = append(data, pd.chunks[c]...)
+			}
+			d.FS[name] = data
+			delete(open, key)
+		}
+	}
+}
+
+// BootAll performs the full §3.1 bring-up from the host: HSSL training
+// happens at power-on (machine.TrainLinks must have run); then, per
+// node: ~100 Ethernet/JTAG packets of boot-kernel code, the JTAG start
+// command, a status check, ~100 run-kernel packets over the standard
+// Ethernet, and the kernel-start handshake.
+func (d *Daemon) BootAll(p *event.Proc) error {
+	for r := range d.M.Nodes {
+		jaddr := ethjtag.NodeJTAGAddr(r)
+		// Boot kernel over Ethernet/JTAG.
+		for i := 0; i < BootKernelPackets; i++ {
+			if err := d.Ctl.Send(ethjtag.Packet{
+				Dst: jaddr, Port: ethjtag.PortJTAG,
+				Payload: ethjtag.EncodeJTAG(ethjtag.OpLoadBoot, uint64(i*8), 0x60000000+uint64(i)),
+			}); err != nil {
+				return err
+			}
+			d.Ctl.Recv(p) // ack
+		}
+		if err := d.Ctl.Send(ethjtag.Packet{
+			Dst: jaddr, Port: ethjtag.PortJTAG,
+			Payload: ethjtag.EncodeJTAG(ethjtag.OpStartBoot, 0, 0),
+		}); err != nil {
+			return err
+		}
+		rep := d.Ctl.Recv(p)
+		if _, _, code, _ := ethjtag.DecodeJTAG(rep.Payload); code != 0 {
+			return fmt.Errorf("qdaemon: node %d refused boot", r)
+		}
+		// Run kernel over the standard Ethernet.
+		eaddr := ethjtag.NodeEthAddr(r)
+		img := make([]byte, qos.RunKernelPacketBytes)
+		for i := 0; i < qos.RunKernelPackets; i++ {
+			if err := d.Ctl.Send(ethjtag.Packet{Dst: eaddr, Port: ethjtag.PortBoot, Payload: img}); err != nil {
+				return err
+			}
+		}
+		if err := d.Ctl.Send(ethjtag.Packet{Dst: eaddr, Port: ethjtag.PortBoot, Payload: []byte("START")}); err != nil {
+			return err
+		}
+		rep = d.Ctl.Recv(p)
+		if string(rep.Payload) != "ok" {
+			return fmt.Errorf("qdaemon: node %d run kernel: %s", r, rep.Payload)
+		}
+	}
+	d.M.MarkBooted()
+	d.booted = true
+	return nil
+}
+
+// Booted reports whether BootAll completed.
+func (d *Daemon) Booted() bool { return d.booted }
+
+// LoadProgram registers an application on every node's kernel — the
+// moral equivalent of copying a binary onto the host disks (the factory
+// receives the node rank, since SPMD programs are rank-parameterized).
+func (d *Daemon) LoadProgram(name string, factory func(rank int) node.Program) {
+	for r, k := range d.Kernels {
+		k.Programs[name] = factory(r)
+	}
+}
+
+// Remap changes the partition's logical dimensionality (1..6), §3.1.
+// The current implementation remaps the whole machine; the new fold is
+// what subsequent jobs see.
+func (d *Daemon) Remap(dims int) error {
+	f, err := FoldToDims(d.M.Cfg.Shape, dims)
+	if err != nil {
+		return err
+	}
+	d.fold = f
+	return nil
+}
+
+// Fold returns the current partition fold.
+func (d *Daemon) Fold() *geom.Fold { return d.fold }
+
+// FoldToDims folds a machine shape to the requested logical
+// dimensionality: the largest dimensions become axes and the rest fold
+// in round-robin, fastest-first.
+func FoldToDims(shape geom.Shape, dims int) (*geom.Fold, error) {
+	if dims < 1 || dims > geom.MaxDim {
+		return nil, fmt.Errorf("qdaemon: dimensionality %d out of range 1..6", dims)
+	}
+	type de struct{ dim, ext int }
+	var ds []de
+	for dd := 0; dd < geom.MaxDim; dd++ {
+		if shape[dd] > 1 {
+			ds = append(ds, de{dd, shape[dd]})
+		}
+	}
+	for i := 0; i < len(ds); i++ {
+		for j := i + 1; j < len(ds); j++ {
+			if ds[j].ext > ds[i].ext {
+				ds[i], ds[j] = ds[j], ds[i]
+			}
+		}
+	}
+	var axes [][]int
+	for i := 0; i < len(ds) && i < dims; i++ {
+		axes = append(axes, []int{ds[i].dim})
+	}
+	for i := dims; i < len(ds); i++ {
+		a := (i - dims) % len(axes)
+		axes[a] = append([]int{ds[i].dim}, axes[a]...)
+	}
+	// Pad with extent-1 machine dims when the machine uses fewer
+	// dimensions than requested.
+	used := map[int]bool{}
+	for _, dl := range axes {
+		for _, dd := range dl {
+			used[dd] = true
+		}
+	}
+	for dd := 0; dd < geom.MaxDim && len(axes) < dims; dd++ {
+		if !used[dd] && shape[dd] == 1 {
+			axes = append(axes, []int{dd})
+			used[dd] = true
+		}
+	}
+	if len(axes) != dims {
+		return nil, fmt.Errorf("qdaemon: cannot fold %v to %d dimensions", shape, dims)
+	}
+	return geom.NewFold(shape, axes)
+}
+
+// Run launches a loaded program on every node and blocks until all
+// nodes report completion, returning the per-node hardware reports.
+func (d *Daemon) Run(p *event.Proc, job, program string) ([]string, error) {
+	if !d.booted {
+		return nil, fmt.Errorf("qdaemon: machine not booted")
+	}
+	d.activeJob = job
+	for r := range d.M.Nodes {
+		if err := d.Ctl.Send(ethjtag.Packet{
+			Dst: ethjtag.NodeEthAddr(r), Port: ethjtag.PortRPC,
+			Payload: []byte(fmt.Sprintf("run %s %s", job, program)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Consume the launch acks on the control port.
+	for range d.M.Nodes {
+		ack := d.Ctl.Recv(p)
+		if !strings.HasPrefix(string(ack.Payload), "ok") {
+			return nil, fmt.Errorf("qdaemon: launch failed: %s", ack.Payload)
+		}
+	}
+	// Completions arrive asynchronously on the event port.
+	want := len(d.M.Nodes)
+	for d.doneCount[job] < want {
+		d.doneGate.Wait(p, "job "+job)
+	}
+	return d.hwReports[job], nil
+}
+
+// Status queries one node's kernel over RPC.
+func (d *Daemon) Status(p *event.Proc, rank int) (string, error) {
+	err := d.Ctl.Send(ethjtag.Packet{
+		Dst: ethjtag.NodeEthAddr(rank), Port: ethjtag.PortRPC,
+		Payload: []byte("status"),
+	})
+	if err != nil {
+		return "", err
+	}
+	rep := d.Ctl.Recv(p)
+	return string(rep.Payload), nil
+}

@@ -1,0 +1,304 @@
+// Package qmp is the user-level communications API of §3.3: a thin,
+// hardware-shaped message-passing layer whose calls "directly reflect
+// the underlying hardware features of our communications unit". A node
+// program creates a Comm over a dimension fold of the machine and gets:
+//
+//   - block-strided zero-copy sends and receives along logical axes
+//     (the SCU DMA engines; no temporal ordering between a send and the
+//     matching receive is required);
+//   - persistent transfers (the SCU stores DMA instructions internally
+//     so repeated halo exchanges restart with a single write);
+//   - global sums and broadcasts riding the SCU's pass-through global
+//     mode, including the "doubled" two-stream variant that halves the
+//     hop count;
+//   - a barrier built from the global sum.
+//
+// All reductions accumulate in canonical origin order, so every node —
+// and any machine decomposition, including a single-node run — produces
+// bit-identical results (experiment E10).
+package qmp
+
+import (
+	"fmt"
+	"math"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/node"
+	"qcdoc/internal/scu"
+)
+
+// Comm is one node's endpoint in a logical (folded) machine.
+type Comm struct {
+	n    *node.Node
+	fold *geom.Fold
+	lc   geom.Coord
+}
+
+// New builds the communicator for the node in ctx under the given fold
+// of the physical machine.
+func New(ctx *node.Ctx, fold *geom.Fold) *Comm {
+	return &Comm{n: ctx.N, fold: fold, lc: fold.ToLogical(ctx.N.Coord)}
+}
+
+// Shape returns the logical torus shape.
+func (c *Comm) Shape() geom.Shape { return c.fold.Logical() }
+
+// Coord returns this node's logical coordinate.
+func (c *Comm) Coord() geom.Coord { return c.lc }
+
+// Rank returns the logical lexicographic rank.
+func (c *Comm) Rank() int { return c.fold.Logical().Rank(c.lc) }
+
+// link resolves the physical link toward the (axis, dir) logical
+// neighbour — a single hop, guaranteed by the fold.
+func (c *Comm) link(axis int, dir geom.Dir) geom.Link {
+	_, l, _ := c.fold.MachineLink(c.lc, axis, dir)
+	return l
+}
+
+// StartSend begins a DMA send of the described local memory toward the
+// (axis, dir) neighbour.
+func (c *Comm) StartSend(axis int, dir geom.Dir, d scu.DMADesc) (*scu.Transfer, error) {
+	return c.n.SCU.StartSend(c.link(axis, dir), d)
+}
+
+// StartRecv begins a DMA receive of data sent by the (axis, dir)
+// neighbour into the described local memory.
+func (c *Comm) StartRecv(axis int, dir geom.Dir, d scu.DMADesc) (*scu.Transfer, error) {
+	return c.n.SCU.StartRecv(c.link(axis, dir), d)
+}
+
+// WaitAll blocks until every transfer completes.
+func WaitAll(p *event.Proc, ts ...*scu.Transfer) {
+	for _, t := range ts {
+		if t != nil {
+			t.Wait(p)
+		}
+	}
+}
+
+// SendSupervisor delivers a supervisor word (and a CPU interrupt) to the
+// (axis, dir) neighbour.
+func (c *Comm) SendSupervisor(axis int, dir geom.Dir, w uint64) error {
+	return c.n.SCU.SendSupervisor(c.link(axis, dir), w)
+}
+
+// GlobalSumFloat64 performs the §2.2 global sum: a dimension-by-
+// dimension ring reduction through the SCU pass-through mode. Every node
+// contributes x and receives the identical machine-wide total,
+// accumulated in canonical coordinate order (bit-reproducible).
+func (c *Comm) GlobalSumFloat64(p *event.Proc, x float64) float64 {
+	shape := c.fold.Logical()
+	for axis := 0; axis < geom.MaxDim; axis++ {
+		if shape[axis] > 1 {
+			x = c.axisSum(p, axis, x, false)
+		}
+	}
+	return x
+}
+
+// GlobalSumFloat64Doubled is the doubled-mode variant: both ring
+// directions run concurrently on the SCU's two disjoint global streams,
+// halving the hop count (Nx/2 + Ny/2 + ... instead of Nx + Ny + ... - 4).
+func (c *Comm) GlobalSumFloat64Doubled(p *event.Proc, x float64) float64 {
+	shape := c.fold.Logical()
+	for axis := 0; axis < geom.MaxDim; axis++ {
+		if shape[axis] > 1 {
+			x = c.axisSum(p, axis, x, true)
+		}
+	}
+	return x
+}
+
+// GlobalSumUint64 sums unsigned words (useful for counters and votes).
+func (c *Comm) GlobalSumUint64(p *event.Proc, x uint64) uint64 {
+	// Ride the float path bit-exactly only for small integers; do it
+	// directly instead: same rings, integer accumulate.
+	shape := c.fold.Logical()
+	for axis := 0; axis < geom.MaxDim; axis++ {
+		if shape[axis] <= 1 {
+			continue
+		}
+		vals := c.axisGather(p, axis, x, false)
+		var sum uint64
+		for _, v := range vals {
+			sum += v
+		}
+		x = sum
+	}
+	return x
+}
+
+// axisSum reduces along one logical axis.
+func (c *Comm) axisSum(p *event.Proc, axis int, x float64, doubled bool) float64 {
+	vals := c.axisGather(p, axis, math.Float64bits(x), doubled)
+	// Canonical order: by origin coordinate, identical on every node.
+	sum := 0.0
+	for _, w := range vals {
+		sum += math.Float64frombits(w)
+	}
+	return sum
+}
+
+// axisGather collects every node's word along an axis ring, indexed by
+// the origin's coordinate on the axis.
+func (c *Comm) axisGather(p *event.Proc, axis int, word uint64, doubled bool) []uint64 {
+	n := c.fold.Logical()[axis]
+	vals := make([]uint64, n)
+	me := c.lc[axis]
+	vals[me] = word
+	fwd := c.link(axis, geom.Fwd)
+	bwd := c.link(axis, geom.Bwd)
+	if !doubled {
+		// Single ring: words travel +axis; we receive N-1 words from the
+		// -axis side, forwarding all but the last.
+		cfg := scu.GlobalConfig{
+			In: bwd, HasIn: true,
+			Outs:    []geom.Link{fwd},
+			Expect:  n - 1,
+			Forward: n - 2,
+			OnWord: func(k int, w uint64) {
+				origin := ((me-1-k)%n + n) % n
+				vals[origin] = w
+			},
+		}
+		must(c.n.SCU.ConfigureGlobal(0, cfg))
+		must(c.n.SCU.GlobalInject(0, word))
+		c.n.SCU.WaitGlobal(p, 0)
+		c.n.SCU.DisableGlobal(0)
+		return vals
+	}
+	// Doubled mode: stream 0 carries words moving +axis (received from
+	// -axis, travelling at most ceil((n-1+1)/2) = n/2 hops), stream 1
+	// carries words moving -axis.
+	kf := n / 2
+	kb := n - 1 - kf
+	cfg0 := scu.GlobalConfig{
+		In: bwd, HasIn: true, Outs: []geom.Link{fwd},
+		Expect: kf, Forward: maxInt(kf-1, 0),
+		OnWord: func(k int, w uint64) {
+			origin := ((me-1-k)%n + n) % n
+			vals[origin] = w
+		},
+	}
+	cfg1 := scu.GlobalConfig{
+		In: fwd, HasIn: true, Outs: []geom.Link{bwd},
+		Expect: kb, Forward: maxInt(kb-1, 0),
+		OnWord: func(k int, w uint64) {
+			origin := (me + 1 + k) % n
+			vals[origin] = w
+		},
+	}
+	must(c.n.SCU.ConfigureGlobal(0, cfg0))
+	if kb > 0 {
+		must(c.n.SCU.ConfigureGlobal(1, cfg1))
+	}
+	must(c.n.SCU.GlobalInject(0, word))
+	if kb > 0 {
+		must(c.n.SCU.GlobalInject(1, word))
+	}
+	c.n.SCU.WaitGlobal(p, 0)
+	c.n.SCU.DisableGlobal(0)
+	if kb > 0 {
+		c.n.SCU.WaitGlobal(p, 1)
+		c.n.SCU.DisableGlobal(1)
+	}
+	return vals
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Broadcast distributes root's word to every node by dimension-order
+// ring broadcasts through the SCU global mode ("the pattern of links is
+// chosen to rapidly span the entire machine", §2.2). Every node passes
+// the same root coordinate; the return value is the broadcast word.
+func (c *Comm) Broadcast(p *event.Proc, root geom.Coord, word uint64) uint64 {
+	shape := c.fold.Logical()
+	for axis := 0; axis < geom.MaxDim; axis++ {
+		n := shape[axis]
+		if n <= 1 {
+			continue
+		}
+		// Participants this phase: coordinates matching root beyond this
+		// axis.
+		participating := true
+		for j := axis + 1; j < geom.MaxDim; j++ {
+			if c.lc[j] != root[j] {
+				participating = false
+				break
+			}
+		}
+		if !participating {
+			continue
+		}
+		fwd := c.link(axis, geom.Fwd)
+		bwd := c.link(axis, geom.Bwd)
+		if c.lc[axis] == root[axis] {
+			// Source: inject and receive nothing.
+			cfg := scu.GlobalConfig{Outs: []geom.Link{fwd}}
+			must(c.n.SCU.ConfigureGlobal(0, cfg))
+			must(c.n.SCU.GlobalInject(0, word))
+			c.n.SCU.DisableGlobal(0)
+			continue
+		}
+		dist := ((c.lc[axis]-root[axis])%n + n) % n
+		forward := 0
+		if dist < n-1 {
+			forward = 1
+		}
+		var got uint64
+		cfg := scu.GlobalConfig{
+			In: bwd, HasIn: true, Outs: []geom.Link{fwd},
+			Expect: 1, Forward: forward,
+			OnWord: func(_ int, w uint64) { got = w },
+		}
+		must(c.n.SCU.ConfigureGlobal(0, cfg))
+		c.n.SCU.WaitGlobal(p, 0)
+		c.n.SCU.DisableGlobal(0)
+		word = got
+	}
+	return word
+}
+
+// Barrier blocks until every node in the logical machine has entered it
+// (a global sum of ones).
+func (c *Comm) Barrier(p *event.Proc) {
+	total := c.GlobalSumUint64(p, 1)
+	if total != uint64(c.fold.Logical().Volume()) {
+		panic(fmt.Sprintf("qmp: barrier counted %d of %d nodes", total, c.fold.Logical().Volume()))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic("qmp: " + err.Error())
+	}
+}
+
+// stridedDesc and contiguousDesc re-export DMA descriptor construction
+// so application code can stay in qmp vocabulary.
+func stridedDesc(base uint64, blockWords, numBlocks, strideWords int) scu.DMADesc {
+	return scu.DMADesc{Base: base, BlockWords: blockWords, NumBlocks: numBlocks, StrideWords: strideWords}
+}
+
+func contiguousDesc(base uint64, words int) scu.DMADesc {
+	return scu.Contiguous(base, words)
+}
+
+// StridedDesc describes NumBlocks blocks of BlockWords words with block
+// starts StrideWords apart — the shape of a lattice face in field
+// storage.
+func StridedDesc(base uint64, blockWords, numBlocks, strideWords int) scu.DMADesc {
+	return stridedDesc(base, blockWords, numBlocks, strideWords)
+}
+
+// ContiguousDesc describes words consecutive 64-bit words at base.
+func ContiguousDesc(base uint64, words int) scu.DMADesc {
+	return contiguousDesc(base, words)
+}

@@ -1,0 +1,171 @@
+package scu
+
+import (
+	"fmt"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+)
+
+// GlobalConfig programs one of the SCU's two global-operation streams
+// (§2.2, "Global operations"). In global mode, data words arriving on
+// the In link are delivered locally (OnWord) and passed through to every
+// link in Outs — with only about a byte of store-and-forward delay in
+// the real hardware — so a pattern of such configurations across the
+// machine implements low-latency global sums and broadcasts.
+//
+// The stream terminates after Expect received words; of these, the first
+// Forward words are passed through (in a ring reduction each node
+// forwards all but the final word, which has already visited every
+// node).
+type GlobalConfig struct {
+	// In is the link whose inbound data words belong to this stream.
+	// Ignored when HasIn is false (a pure source, e.g. a broadcast
+	// origin).
+	In    geom.Link
+	HasIn bool
+	// Outs are the links the stream passes words through to.
+	Outs []geom.Link
+	// Expect is the number of words to receive before the stream is done.
+	Expect int
+	// Forward is how many of the received words (the first ones) are
+	// passed through to Outs.
+	Forward int
+	// OnWord is called for each received word with its arrival index;
+	// arrival order on a given stream is deterministic (upstream
+	// neighbour's word first).
+	OnWord func(idx int, w uint64)
+}
+
+// globalStream is the live state of a configured stream.
+type globalStream struct {
+	scu      *SCU
+	id       int
+	cfg      GlobalConfig
+	received int
+	done     *event.Gate
+}
+
+// ConfigureGlobal programs stream id (0 or 1 — the "doubled"
+// functionality allows two disjoint link sets to run concurrent global
+// operations). The links used must be attached and disjoint from the
+// other active stream's links.
+func (s *SCU) ConfigureGlobal(id int, cfg GlobalConfig) error {
+	if id < 0 || id >= len(s.globals) {
+		return fmt.Errorf("%w: stream %d", ErrBadStream, id)
+	}
+	if s.globals[id] != nil {
+		return fmt.Errorf("%w: stream %d already active", ErrBadStream, id)
+	}
+	// The 24 uni-directional connections are independent resources: a
+	// stream's receive side (In) conflicts only with the other stream's
+	// receive side, and transmit (Outs) only with transmit.
+	other := s.globals[1-id]
+	if cfg.HasIn {
+		if !s.Attached(cfg.In) {
+			return fmt.Errorf("%w: in link %v not attached", ErrBadStream, cfg.In)
+		}
+		if other != nil && other.cfg.HasIn && other.cfg.In == cfg.In {
+			return fmt.Errorf("%w: receive side of %v used by both streams", ErrBadStream, cfg.In)
+		}
+	}
+	for _, o := range cfg.Outs {
+		if !s.Attached(o) {
+			return fmt.Errorf("%w: out link %v not attached", ErrBadStream, o)
+		}
+		if other != nil {
+			for _, oo := range other.cfg.Outs {
+				if oo == o {
+					return fmt.Errorf("%w: transmit side of %v used by both streams", ErrBadStream, o)
+				}
+			}
+		}
+	}
+	if cfg.Expect < 0 || cfg.Forward > cfg.Expect {
+		return fmt.Errorf("%w: expect %d forward %d", ErrBadStream, cfg.Expect, cfg.Forward)
+	}
+	gs := &globalStream{scu: s, id: id, cfg: cfg, done: event.NewGate(s.eng)}
+	s.globals[id] = gs
+	if cfg.HasIn {
+		s.globalIn[geom.LinkIndex(cfg.In)] = id
+		// Idle receive interplay (§2.2): stream words that arrived before
+		// the stream was configured are being held, unacknowledged, in the
+		// link's SCU registers. Drain them into the stream and release the
+		// withheld acknowledgement — the global-operation analogue of
+		// programming a receive.
+		lu := s.links[geom.LinkIndex(cfg.In)]
+		if len(lu.idleBuf) > 0 {
+			held := lu.idleBuf
+			lu.idleBuf = nil
+			for _, w := range held {
+				gs.receive(w)
+			}
+			lu.sendCumAck()
+		}
+	}
+	return nil
+}
+
+// GlobalInject sends this node's own contribution out on the stream's
+// pass-through links (the "register used for sending").
+func (s *SCU) GlobalInject(id int, w uint64) error {
+	gs := s.globals[id]
+	if gs == nil {
+		return fmt.Errorf("%w: stream %d not configured", ErrBadStream, id)
+	}
+	for _, o := range gs.cfg.Outs {
+		s.links[geom.LinkIndex(o)].inject(w)
+	}
+	return nil
+}
+
+// GlobalDone reports whether stream id has received its expected words.
+func (s *SCU) GlobalDone(id int) bool {
+	gs := s.globals[id]
+	return gs != nil && gs.received >= gs.cfg.Expect
+}
+
+// WaitGlobal blocks until stream id completes.
+func (s *SCU) WaitGlobal(p *event.Proc, id int) {
+	for {
+		gs := s.globals[id]
+		if gs == nil || gs.received >= gs.cfg.Expect {
+			return
+		}
+		gs.done.Wait(p, fmt.Sprintf("global %d", id))
+	}
+}
+
+// DisableGlobal tears down stream id; its In link returns to normal DMA
+// reception.
+func (s *SCU) DisableGlobal(id int) {
+	gs := s.globals[id]
+	if gs == nil {
+		return
+	}
+	if gs.cfg.HasIn {
+		s.globalIn[geom.LinkIndex(gs.cfg.In)] = -1
+	}
+	s.globals[id] = nil
+}
+
+// receive handles one stream word accepted on the In link.
+func (gs *globalStream) receive(w uint64) {
+	idx := gs.received
+	gs.received++
+	if idx >= gs.cfg.Expect {
+		panic(fmt.Sprintf("scu %s: global stream %d received %d words, expected %d",
+			gs.scu.name, gs.id, gs.received, gs.cfg.Expect))
+	}
+	if gs.cfg.OnWord != nil {
+		gs.cfg.OnWord(idx, w)
+	}
+	if idx < gs.cfg.Forward {
+		for _, o := range gs.cfg.Outs {
+			gs.scu.links[geom.LinkIndex(o)].inject(w)
+		}
+	}
+	if gs.received == gs.cfg.Expect {
+		gs.done.Fire()
+	}
+}

@@ -1,0 +1,381 @@
+package scu
+
+import (
+	"errors"
+	"fmt"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/hssl"
+	"qcdoc/internal/scupkt"
+)
+
+// pendingWord is a transmitted-but-unacknowledged data word held in the
+// SCU's resend registers.
+type pendingWord struct {
+	seq  int
+	word uint64
+	t    *Transfer // owning send transfer; nil for injected global words
+}
+
+// linkUnit is the per-link hardware: a transmit engine feeding the
+// outbound wire and a receive engine draining the inbound wire. Both run
+// as daemon processes on the event engine. Acknowledgements for our
+// transmissions arrive on the inbound wire, multiplexed with the
+// neighbour's own traffic.
+type linkUnit struct {
+	scu  *SCU
+	link geom.Link
+	out  *hssl.Wire
+	in   *hssl.Wire
+
+	stats Stats
+	txSum scupkt.Checksum // data words transmitted (first transmissions)
+	rxSum scupkt.Checksum // data words accepted in order
+
+	// Transmit side.
+	txQ     *event.Queue[*Transfer]
+	injects []uint64 // global-operation words, priority over transfers
+	work    *event.Gate
+	ackGate *event.Gate
+	seqNext int
+	unacked []pendingWord
+	ackGen  uint64 // bumped on every head pop; invalidates stale timers
+
+	supPending bool
+	supWord    uint64
+	supQueue   []uint64
+	supGen     uint64
+
+	// Receive side.
+	expect     int
+	nakPending bool
+	rxT        []*Transfer // programmed receive transfers, FIFO
+	rxProgress int         // words stored into rxT[0]
+	idleBuf    []uint64    // idle-receive holding registers (max Window)
+}
+
+func newLinkUnit(s *SCU, l geom.Link, out, in *hssl.Wire) *linkUnit {
+	return &linkUnit{
+		scu:     s,
+		link:    l,
+		out:     out,
+		in:      in,
+		txQ:     event.NewQueue[*Transfer](s.eng, fmt.Sprintf("%s txq %v", s.name, l)),
+		work:    event.NewGate(s.eng),
+		ackGate: event.NewGate(s.eng),
+	}
+}
+
+func (lu *linkUnit) start() {
+	name := fmt.Sprintf("%s scu%v", lu.scu.name, lu.link)
+	lu.scu.eng.SpawnDaemon(name+" tx", lu.txProc)
+	lu.scu.eng.SpawnDaemon(name+" rx", lu.rxProc)
+}
+
+// sendFrame transmits a raw frame, treating an untrained wire as an
+// assembly error (the machine trains all links at boot, before the SCU
+// engines start moving data).
+func (lu *linkUnit) sendFrame(frame []byte) {
+	if _, err := lu.out.Send(frame); err != nil {
+		panic(fmt.Sprintf("scu %s link %v: %v", lu.scu.name, lu.link, err))
+	}
+}
+
+// --- Transmit engine ---------------------------------------------------
+
+func (lu *linkUnit) txProc(p *event.Proc) {
+	for {
+		if len(lu.injects) > 0 {
+			w := lu.injects[0]
+			lu.injects = lu.injects[1:]
+			lu.sendData(p, w, nil)
+			continue
+		}
+		if t, ok := lu.txQ.TryGet(); ok {
+			// DMA programming and the fetch pipeline to the first bit on
+			// the wire.
+			p.Sleep(lu.scu.cfg.Clock.Cycles(lu.scu.cfg.TxStartupCycles))
+			for i := 0; i < t.total; i++ {
+				// Global-operation pass-through words preempt between the
+				// words of a bulk transfer (they are latency critical).
+				for len(lu.injects) > 0 {
+					w := lu.injects[0]
+					lu.injects = lu.injects[1:]
+					lu.sendData(p, w, nil)
+				}
+				w := lu.scu.mem.ReadWord(t.Desc.Addr(i))
+				lu.sendData(p, w, t)
+			}
+			continue
+		}
+		lu.work.Wait(p, fmt.Sprintf("tx idle %v", lu.link))
+	}
+}
+
+// sendData transmits one data word, blocking while the "three in the
+// air" window is full.
+func (lu *linkUnit) sendData(p *event.Proc, w uint64, t *Transfer) {
+	for len(lu.unacked) >= lu.scu.cfg.Window {
+		lu.ackGate.Wait(p, fmt.Sprintf("window %v", lu.link))
+	}
+	seq := lu.seqNext
+	lu.seqNext = (lu.seqNext + 1) % scupkt.SeqMod
+	lu.unacked = append(lu.unacked, pendingWord{seq: seq, word: w, t: t})
+	lu.sendFrame(scupkt.Packet{Kind: scupkt.DataKind(seq), Payload: w}.Encode(nil))
+	lu.txSum.Add(w)
+	lu.stats.WordsSent++
+	if len(lu.unacked) == 1 {
+		lu.scheduleAckTimer()
+	}
+}
+
+// inject queues a global-operation word for priority transmission.
+func (lu *linkUnit) inject(w uint64) {
+	lu.injects = append(lu.injects, w)
+	lu.work.Fire()
+}
+
+// scheduleAckTimer arms the lost-acknowledgement recovery timer for the
+// current oldest unacknowledged word. It fires only if no pop has
+// happened in the meantime.
+func (lu *linkUnit) scheduleAckTimer() {
+	gen := lu.ackGen
+	lu.scu.eng.After(lu.scu.cfg.AckTimeout, func() {
+		if lu.ackGen != gen || len(lu.unacked) == 0 {
+			return
+		}
+		pw := lu.unacked[0]
+		lu.sendFrame(scupkt.Packet{Kind: scupkt.DataKind(pw.seq), Payload: pw.word}.Encode(nil))
+		lu.stats.Resends++
+		lu.scheduleAckTimer()
+	})
+}
+
+// sendSupervisor transmits a supervisor word with stop-and-wait
+// acknowledgement; further words queue behind it.
+func (lu *linkUnit) sendSupervisor(w uint64) {
+	if lu.supPending {
+		lu.supQueue = append(lu.supQueue, w)
+		return
+	}
+	lu.transmitSup(w)
+}
+
+func (lu *linkUnit) transmitSup(w uint64) {
+	lu.supPending = true
+	lu.supWord = w
+	lu.sendFrame(scupkt.Packet{Kind: scupkt.Supervisor, Payload: w}.Encode(nil))
+	lu.stats.SupsSent++
+	lu.scheduleSupTimer()
+}
+
+func (lu *linkUnit) scheduleSupTimer() {
+	gen := lu.supGen
+	lu.scu.eng.After(lu.scu.cfg.AckTimeout, func() {
+		if lu.supGen != gen || !lu.supPending {
+			return
+		}
+		lu.sendFrame(scupkt.Packet{Kind: scupkt.Supervisor, Payload: lu.supWord}.Encode(nil))
+		lu.stats.Resends++
+		lu.scheduleSupTimer()
+	})
+}
+
+// --- Receive engine ----------------------------------------------------
+
+func (lu *linkUnit) rxProc(p *event.Proc) {
+	for {
+		f := lu.in.Recv(p)
+		pkt, _, err := scupkt.Decode(f.Bytes)
+		if err != nil {
+			lu.handleCorrupt(err)
+			continue
+		}
+		switch {
+		case pkt.Kind == scupkt.Ack:
+			lu.handleAck(uint8(pkt.Payload))
+		case pkt.Kind == scupkt.Supervisor:
+			lu.handleSupervisor(pkt.Payload)
+		case pkt.Kind == scupkt.PartIRQ:
+			lu.scu.part.receive(lu.link, uint8(pkt.Payload))
+		case pkt.Kind == scupkt.Idle:
+			// Trained links exchange idles; nothing to do.
+		default:
+			seq, _ := pkt.Kind.DataSeq()
+			lu.handleData(seq, pkt.Payload)
+		}
+	}
+}
+
+func (lu *linkUnit) handleCorrupt(err error) {
+	if errors.Is(err, scupkt.ErrParity) {
+		lu.stats.ParityErrors++
+	} else {
+		lu.stats.HeaderErrors++
+	}
+	lu.sendNak()
+}
+
+func (lu *linkUnit) lastAccepted() int {
+	return (lu.expect + scupkt.SeqMod - 1) % scupkt.SeqMod
+}
+
+// sendNak requests a rewind-resend of everything unacknowledged. One nak
+// per stall: repeated errors before the next in-order acceptance are
+// suppressed to avoid redundant rewinds.
+func (lu *linkUnit) sendNak() {
+	if lu.nakPending {
+		return
+	}
+	lu.nakPending = true
+	flags := scupkt.AckNak | uint8(lu.lastAccepted())&scupkt.AckSeqMask
+	lu.sendFrame(scupkt.Packet{Kind: scupkt.Ack, Payload: uint64(flags)}.Encode(nil))
+	lu.stats.NaksSent++
+}
+
+// sendCumAck acknowledges everything accepted so far.
+func (lu *linkUnit) sendCumAck() {
+	flags := uint8(lu.lastAccepted()) & scupkt.AckSeqMask
+	lu.sendFrame(scupkt.Packet{Kind: scupkt.Ack, Payload: uint64(flags)}.Encode(nil))
+	lu.stats.AcksSent++
+}
+
+func (lu *linkUnit) handleData(seq int, w uint64) {
+	delta := (seq - lu.expect + scupkt.SeqMod) % scupkt.SeqMod
+	if delta != 0 {
+		lu.stats.Duplicates++
+		if len(lu.idleBuf) > 0 {
+			// Duplicates of held words while acks are withheld; stay silent
+			// so the sender remains blocked (idle receive).
+			return
+		}
+		if delta == scupkt.SeqMod-1 {
+			// Duplicate of the last accepted word: its ack was lost, re-ack.
+			lu.sendCumAck()
+			return
+		}
+		// A gap: an earlier frame was corrupt. The nak for it is normally
+		// already pending; this is the defensive fallback.
+		lu.sendNak()
+		return
+	}
+
+	// In-order word.
+	lu.nakPending = false
+	lu.expect = (lu.expect + 1) % scupkt.SeqMod
+	lu.rxSum.Add(w)
+	lu.stats.WordsReceived++
+
+	if gs := lu.scu.globalIn[geom.LinkIndex(lu.link)]; gs >= 0 {
+		lu.sendCumAck()
+		lu.scu.globals[gs].receive(w)
+		return
+	}
+	if len(lu.rxT) == 0 {
+		// Idle receive: hold the word in an SCU register and withhold the
+		// acknowledgement; the sender's window will block it after
+		// Window words (§2.2).
+		if len(lu.idleBuf) >= lu.scu.cfg.Window {
+			panic(fmt.Sprintf("scu %s link %v: idle-receive overflow (window protocol violated)",
+				lu.scu.name, lu.link))
+		}
+		lu.idleBuf = append(lu.idleBuf, w)
+		return
+	}
+	lu.storeWord(w)
+	lu.sendCumAck()
+}
+
+// storeWord lands an accepted word in local memory via the receive DMA.
+func (lu *linkUnit) storeWord(w uint64) {
+	t := lu.rxT[0]
+	lu.scu.mem.WriteWord(t.Desc.Addr(lu.rxProgress), w)
+	lu.rxProgress++
+	done := lu.rxProgress == t.total
+	t.progress(lu.scu.eng, lu.scu.eng.Now()+lu.scu.cfg.Clock.Cycles(lu.scu.cfg.RxStartupCycles))
+	if done {
+		lu.rxT = lu.rxT[1:]
+		lu.rxProgress = 0
+	}
+}
+
+// programRecv attaches a receive transfer; any idle-held words drain into
+// it immediately and the withheld acknowledgement is released.
+func (lu *linkUnit) programRecv(t *Transfer) {
+	lu.rxT = append(lu.rxT, t)
+	drained := false
+	for len(lu.idleBuf) > 0 && len(lu.rxT) > 0 {
+		w := lu.idleBuf[0]
+		lu.idleBuf = lu.idleBuf[1:]
+		lu.storeWord(w)
+		drained = true
+	}
+	if drained {
+		lu.sendCumAck()
+	}
+}
+
+func (lu *linkUnit) containsSeq(seq int) bool {
+	for _, pw := range lu.unacked {
+		if pw.seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (lu *linkUnit) handleAck(flags uint8) {
+	if flags&scupkt.AckSup != 0 {
+		lu.supPending = false
+		lu.supGen++
+		if len(lu.supQueue) > 0 {
+			next := lu.supQueue[0]
+			lu.supQueue = lu.supQueue[1:]
+			lu.transmitSup(next)
+		}
+		return
+	}
+	a := int(flags & scupkt.AckSeqMask)
+	if lu.containsSeq(a) {
+		// Cumulative: pop everything up to and including a.
+		for {
+			pw := lu.unacked[0]
+			lu.unacked = lu.unacked[1:]
+			lu.ackGen++
+			if pw.t != nil {
+				pw.t.progress(lu.scu.eng, lu.scu.eng.Now())
+			}
+			if pw.seq == a {
+				break
+			}
+		}
+		if len(lu.unacked) > 0 {
+			lu.scheduleAckTimer()
+		}
+		lu.ackGate.Fire()
+	}
+	if flags&scupkt.AckNak != 0 {
+		// Automatic hardware resend: rewind and retransmit every word
+		// still unacknowledged, in order.
+		for _, pw := range lu.unacked {
+			lu.sendFrame(scupkt.Packet{Kind: scupkt.DataKind(pw.seq), Payload: pw.word}.Encode(nil))
+			lu.stats.Resends++
+		}
+	}
+}
+
+func (lu *linkUnit) handleSupervisor(w uint64) {
+	lu.scu.lastSup[geom.LinkIndex(lu.link)] = w
+	lu.stats.SupsReceived++
+	lu.sendFrame(scupkt.Packet{Kind: scupkt.Ack, Payload: uint64(scupkt.AckSup)}.Encode(nil))
+	lu.stats.AcksSent++
+	if lu.scu.onSupervisor != nil {
+		lu.scu.onSupervisor(lu.link, w)
+	}
+}
+
+func (lu *linkUnit) sendPartIRQ(mask uint8) {
+	lu.sendFrame(scupkt.Packet{Kind: scupkt.PartIRQ, Payload: uint64(mask)}.Encode(nil))
+	lu.stats.PartIRQsSent++
+}

@@ -1,0 +1,311 @@
+// Package scu implements the QCDOC Serial Communications Unit (§2.2): the
+// custom ASIC block that drives the six-dimensional nearest-neighbour
+// network. Each SCU manages 24 independent uni-directional connections
+// (concurrent sends and receives to 12 neighbours), with:
+//
+//   - DMA engines with block-strided access to local memory, giving
+//     zero-copy memory-to-memory transfers (~600 ns nearest neighbour);
+//   - the "three in the air" acknowledgement window that amortizes the
+//     round-trip handshake and sustains full link bandwidth;
+//   - automatic hardware resend on parity or header errors (Nak/rewind);
+//   - idle receive: data arriving before a receive is programmed is held
+//     (up to three words) in SCU registers without acknowledgement,
+//     blocking the sender until a destination is supplied — so sends and
+//     receives need no temporal ordering;
+//   - supervisor packets: single words delivered to a neighbour's SCU
+//     register, raising a CPU interrupt there;
+//   - partition interrupt packets, flood-forwarded with per-link
+//     de-duplication and sampled on the slow global clock;
+//   - a global-operation mode where incoming words pass through to any
+//     set of outgoing links while being stored locally, in two disjoint
+//     ("doubled") streams — the substrate for fast global sums and
+//     broadcasts;
+//   - per-link-end checksums compared at the end of a calculation.
+package scu
+
+import (
+	"errors"
+	"fmt"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/hssl"
+	"qcdoc/internal/scupkt"
+)
+
+// Memory is the SCU's view of the node's local memory: 64-bit words at
+// byte addresses. The DMA engines read and write it directly (the paper's
+// zero-copy property — data is never staged through an intermediate
+// buffer).
+type Memory interface {
+	ReadWord(addr uint64) uint64
+	WriteWord(addr uint64, w uint64)
+}
+
+// Config holds the SCU timing and protocol parameters.
+type Config struct {
+	// Clock is the link/processor clock (the HSSL links run at the same
+	// clock as the processor; target 500 MHz).
+	Clock event.Hz
+	// TxStartupCycles is charged once per send transfer: DMA programming
+	// plus the pipeline from local memory through the SCU to the first
+	// bit on the wire. Default 125 cycles (250 ns at 500 MHz).
+	TxStartupCycles int64
+	// RxStartupCycles is the receive-side pipeline from last bit on the
+	// wire to the word landing in local memory. Default 100 cycles
+	// (200 ns at 500 MHz). Together with 72 bits of serialization and the
+	// wire flight time this calibrates the paper's ~600 ns nearest-
+	// neighbour memory-to-memory latency.
+	RxStartupCycles int64
+	// Window is the number of unacknowledged data words allowed in
+	// flight. Default (and hardware value) 3; must be < scupkt.SeqMod.
+	Window int
+	// AckTimeout triggers a resend of the oldest unacknowledged word,
+	// recovering from corrupted acknowledgement frames. It must be much
+	// larger than the round trip so it never fires spuriously. Default
+	// 50 us.
+	AckTimeout event.Time
+}
+
+// DefaultConfig returns the paper's nominal 500 MHz configuration.
+func DefaultConfig() Config {
+	return Config{
+		Clock:           500 * event.MHz,
+		TxStartupCycles: 125,
+		RxStartupCycles: 100,
+		Window:          scupkt.WindowSize,
+		AckTimeout:      50 * event.Microsecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Clock == 0 {
+		c.Clock = d.Clock
+	}
+	if c.TxStartupCycles == 0 {
+		c.TxStartupCycles = d.TxStartupCycles
+	}
+	if c.RxStartupCycles == 0 {
+		c.RxStartupCycles = d.RxStartupCycles
+	}
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = d.AckTimeout
+	}
+	return c
+}
+
+// Stats aggregates per-link protocol counters.
+type Stats struct {
+	WordsSent     uint64 // first transmissions of data words
+	WordsReceived uint64 // in-order accepted data words
+	AcksSent      uint64
+	NaksSent      uint64
+	Resends       uint64 // retransmitted data words (rewind + timeout)
+	ParityErrors  uint64
+	HeaderErrors  uint64
+	Duplicates    uint64 // discarded duplicate data words
+	SupsSent      uint64
+	SupsReceived  uint64
+	PartIRQsSent  uint64
+	PartIRQsRecvd uint64
+}
+
+func (s *Stats) add(o Stats) {
+	s.WordsSent += o.WordsSent
+	s.WordsReceived += o.WordsReceived
+	s.AcksSent += o.AcksSent
+	s.NaksSent += o.NaksSent
+	s.Resends += o.Resends
+	s.ParityErrors += o.ParityErrors
+	s.HeaderErrors += o.HeaderErrors
+	s.Duplicates += o.Duplicates
+	s.SupsSent += o.SupsSent
+	s.SupsReceived += o.SupsReceived
+	s.PartIRQsSent += o.PartIRQsSent
+	s.PartIRQsRecvd += o.PartIRQsRecvd
+}
+
+// SCU is one node's serial communications unit.
+type SCU struct {
+	eng  *event.Engine
+	name string
+	mem  Memory
+	cfg  Config
+
+	links [geom.NumLinks]*linkUnit
+
+	onSupervisor func(l geom.Link, word uint64)
+	lastSup      [geom.NumLinks]uint64
+
+	// WindowArm, when set by the machine, is called whenever a new
+	// partition-interrupt bit becomes pending on this node, so the
+	// machine can schedule the next global-clock sampling window.
+	WindowArm func()
+
+	part    partState
+	globals [2]*globalStream
+	// globalIn maps a link index to the stream consuming its inbound
+	// data words, or -1.
+	globalIn [geom.NumLinks]int
+
+	started bool
+}
+
+// New creates an SCU for a node. mem is the node's local memory as seen
+// by the DMA engines.
+func New(eng *event.Engine, name string, mem Memory, cfg Config) *SCU {
+	s := &SCU{eng: eng, name: name, mem: mem, cfg: cfg.withDefaults()}
+	for i := range s.globalIn {
+		s.globalIn[i] = -1
+	}
+	s.part.init(s)
+	return s
+}
+
+// Name returns the SCU's name (usually the node's coordinate).
+func (s *SCU) Name() string { return s.name }
+
+// Errors returned by SCU operations.
+var (
+	ErrLinkNotAttached = errors.New("scu: link not attached")
+	ErrNotStarted      = errors.New("scu: not started")
+	ErrBadDescriptor   = errors.New("scu: invalid DMA descriptor")
+	ErrBadStream       = errors.New("scu: invalid global stream configuration")
+)
+
+// AttachLink wires one of the twelve nearest-neighbour connections:
+// out carries this node's transmissions toward the (dim, dir) neighbour
+// and in carries that neighbour's transmissions back. Must be called
+// before Start.
+func (s *SCU) AttachLink(l geom.Link, out, in *hssl.Wire) {
+	if s.started {
+		panic("scu: AttachLink after Start")
+	}
+	s.links[geom.LinkIndex(l)] = newLinkUnit(s, l, out, in)
+}
+
+// Attached reports whether the link has been wired.
+func (s *SCU) Attached(l geom.Link) bool { return s.links[geom.LinkIndex(l)] != nil }
+
+// Start spawns the per-link hardware engines (transmit and receive state
+// machines) as daemon processes. The wires must already be trained.
+func (s *SCU) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, lu := range s.links {
+		if lu != nil {
+			lu.start()
+		}
+	}
+}
+
+func (s *SCU) linkUnit(l geom.Link) (*linkUnit, error) {
+	lu := s.links[geom.LinkIndex(l)]
+	if lu == nil {
+		return nil, fmt.Errorf("%w: %s %v", ErrLinkNotAttached, s.name, l)
+	}
+	if !s.started {
+		return nil, fmt.Errorf("%w: %s", ErrNotStarted, s.name)
+	}
+	return lu, nil
+}
+
+// StartSend programs a DMA send on link l: the descriptor's words are
+// fetched from local memory and transmitted. The returned transfer
+// completes when every word has been acknowledged by the neighbour.
+// There is no need for the neighbour to have programmed its receive
+// first (idle receive holds early words).
+func (s *SCU) StartSend(l geom.Link, d DMADesc) (*Transfer, error) {
+	lu, err := s.linkUnit(l)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	t := newTransfer(s.eng, l, d, true)
+	lu.txQ.Put(t)
+	lu.work.Fire()
+	return t, nil
+}
+
+// StartRecv programs a DMA receive on link l: incoming data words are
+// stored at the descriptor's addresses. Completes when all words have
+// landed in local memory.
+func (s *SCU) StartRecv(l geom.Link, d DMADesc) (*Transfer, error) {
+	lu, err := s.linkUnit(l)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	t := newTransfer(s.eng, l, d, false)
+	lu.programRecv(t)
+	return t, nil
+}
+
+// SendSupervisor sends a single 64-bit supervisor word to the (dim, dir)
+// neighbour, where it raises a CPU interrupt. Supervisor packets take
+// priority over queued data and are individually acknowledged
+// (stop-and-wait); under link errors delivery is at-least-once.
+func (s *SCU) SendSupervisor(l geom.Link, word uint64) error {
+	lu, err := s.linkUnit(l)
+	if err != nil {
+		return err
+	}
+	lu.sendSupervisor(word)
+	return nil
+}
+
+// OnSupervisor registers the CPU interrupt handler for incoming
+// supervisor words. The handler runs in the receiving link's context at
+// the simulated arrival time.
+func (s *SCU) OnSupervisor(fn func(l geom.Link, word uint64)) { s.onSupervisor = fn }
+
+// LastSupervisor returns the most recent supervisor word received on l
+// (the SCU register the packet lands in).
+func (s *SCU) LastSupervisor(l geom.Link) uint64 { return s.lastSup[geom.LinkIndex(l)] }
+
+// Stats returns protocol counters summed over all links.
+func (s *SCU) Stats() Stats {
+	var total Stats
+	for _, lu := range s.links {
+		if lu != nil {
+			total.add(lu.stats)
+		}
+	}
+	return total
+}
+
+// LinkStats returns the counters of a single link.
+func (s *SCU) LinkStats(l geom.Link) Stats {
+	if lu := s.links[geom.LinkIndex(l)]; lu != nil {
+		return lu.stats
+	}
+	return Stats{}
+}
+
+// Checksums returns the transmit-side and receive-side end-of-link
+// checksums for link l: the transmit sum covers words sent toward the
+// (dim,dir) neighbour, the receive sum covers words accepted from it.
+// Comparing the transmit sum with the neighbour's opposite-link receive
+// sum confirms no erroneous data was exchanged (§2.2).
+func (s *SCU) Checksums(l geom.Link) (tx, rx scupkt.Checksum) {
+	if lu := s.links[geom.LinkIndex(l)]; lu != nil {
+		return lu.txSum, lu.rxSum
+	}
+	return
+}
+
+// Engine returns the event engine the SCU runs on.
+func (s *SCU) Engine() *event.Engine { return s.eng }
+
+// Clock returns the configured link clock.
+func (s *SCU) Clock() event.Hz { return s.cfg.Clock }

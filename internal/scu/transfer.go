@@ -1,0 +1,104 @@
+package scu
+
+import (
+	"fmt"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+)
+
+// DMADesc describes a block-strided DMA access pattern in local memory
+// (§2.2: "the SCUs have DMA engines allowing block strided access to
+// local memory"). The pattern is NumBlocks blocks of BlockWords
+// contiguous 64-bit words each, with consecutive block starts
+// StrideWords apart. This is exactly the shape of a lattice face: e.g.
+// the x-boundary spinors of a 4^4 local volume are small blocks strided
+// through the field array.
+type DMADesc struct {
+	Base        uint64 // byte address of the first word (8-byte aligned)
+	BlockWords  int    // contiguous words per block
+	NumBlocks   int    // number of blocks
+	StrideWords int    // words between successive block starts
+}
+
+// Contiguous returns a descriptor for n consecutive words at base.
+func Contiguous(base uint64, n int) DMADesc {
+	return DMADesc{Base: base, BlockWords: n, NumBlocks: 1, StrideWords: n}
+}
+
+// TotalWords is the number of words the descriptor covers.
+func (d DMADesc) TotalWords() int { return d.BlockWords * d.NumBlocks }
+
+// Addr returns the byte address of the i-th word in pattern order.
+func (d DMADesc) Addr(i int) uint64 {
+	block, off := i/d.BlockWords, i%d.BlockWords
+	return d.Base + 8*uint64(block*d.StrideWords+off)
+}
+
+func (d DMADesc) validate() error {
+	if d.BlockWords <= 0 || d.NumBlocks <= 0 {
+		return fmt.Errorf("%w: %+v", ErrBadDescriptor, d)
+	}
+	if d.NumBlocks > 1 && d.StrideWords < d.BlockWords {
+		return fmt.Errorf("%w: overlapping blocks in %+v", ErrBadDescriptor, d)
+	}
+	if d.Base%8 != 0 {
+		return fmt.Errorf("%w: unaligned base in %+v", ErrBadDescriptor, d)
+	}
+	return nil
+}
+
+// Transfer is one in-flight DMA transfer (send or receive) on a link.
+type Transfer struct {
+	Link geom.Link
+	Desc DMADesc
+	Send bool
+
+	total     int
+	wordsDone int
+	completed bool
+	done      *event.Gate
+	started   event.Time
+	finished  event.Time
+}
+
+func newTransfer(eng *event.Engine, l geom.Link, d DMADesc, send bool) *Transfer {
+	return &Transfer{
+		Link:    l,
+		Desc:    d,
+		Send:    send,
+		total:   d.TotalWords(),
+		done:    event.NewGate(eng),
+		started: eng.Now(),
+	}
+}
+
+// Done reports whether the transfer has completed: all words
+// acknowledged (send) or stored in local memory (receive).
+func (t *Transfer) Done() bool { return t.completed }
+
+// Wait blocks the process until the transfer completes.
+func (t *Transfer) Wait(p *event.Proc) {
+	for !t.completed {
+		t.done.Wait(p, fmt.Sprintf("dma %v", t.Link))
+	}
+}
+
+// Started returns the simulated time the transfer was programmed.
+func (t *Transfer) Started() event.Time { return t.started }
+
+// Finished returns the completion time (valid once Done).
+func (t *Transfer) Finished() event.Time { return t.finished }
+
+// progress records one completed word; at the last word the transfer
+// completes at time at.
+func (t *Transfer) progress(eng *event.Engine, at event.Time) {
+	t.wordsDone++
+	if t.wordsDone == t.total {
+		eng.At(at, func() {
+			t.completed = true
+			t.finished = eng.Now()
+			t.done.Fire()
+		})
+	}
+}

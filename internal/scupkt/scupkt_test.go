@@ -1,0 +1,287 @@
+package scupkt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allKinds() []Kind {
+	return []Kind{Idle, Data0, Data1, Data2, Data3, Supervisor, PartIRQ, Ack}
+}
+
+func TestKindCodewordsDistance(t *testing.T) {
+	// Every pair of type codewords must be at Hamming distance >= 3, so a
+	// single bit flip cannot convert one valid type into another (§2.2).
+	ks := allKinds()
+	for i, a := range ks {
+		for _, b := range ks[i+1:] {
+			d := popcount6(encodeKind(a) ^ encodeKind(b))
+			if d < 3 {
+				t.Errorf("kinds %v and %v at distance %d", a, b, d)
+			}
+		}
+	}
+}
+
+func popcount6(x uint8) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range allKinds() {
+		got, ok := decodeKind(encodeKind(k))
+		if !ok || got != k {
+			t.Errorf("round trip of %v = %v, %v", k, got, ok)
+		}
+	}
+}
+
+func TestDataKindSeq(t *testing.T) {
+	for seq := 0; seq < 2*SeqMod; seq++ {
+		k := DataKind(seq)
+		got, ok := k.DataSeq()
+		if !ok || got != seq%SeqMod {
+			t.Errorf("DataKind(%d).DataSeq() = %d, %v", seq, got, ok)
+		}
+	}
+	for _, k := range []Kind{Idle, Supervisor, PartIRQ, Ack} {
+		if _, ok := k.DataSeq(); ok {
+			t.Errorf("%v reported as data", k)
+		}
+	}
+}
+
+func TestWindowFitsSeqSpace(t *testing.T) {
+	if WindowSize >= SeqMod {
+		t.Fatalf("window %d must be < sequence space %d for unambiguous ARQ", WindowSize, SeqMod)
+	}
+	if WindowSize != 3 {
+		t.Fatalf("window = %d; the paper specifies three in the air", WindowSize)
+	}
+}
+
+func TestSingleBitHeaderFlipDetected(t *testing.T) {
+	// Flipping any single bit of any valid codeword must fail decoding,
+	// never silently decode as a different type.
+	for _, k := range allKinds() {
+		code := encodeKind(k)
+		for bit := 0; bit < 6; bit++ {
+			flipped := code ^ (1 << bit)
+			if got, ok := decodeKind(flipped); ok {
+				t.Errorf("kind %v with bit %d flipped decoded as %v", k, bit, got)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodePackets(t *testing.T) {
+	cases := []Packet{
+		{Kind: Idle},
+		{Kind: Data0, Payload: 0xDEADBEEFCAFEF00D},
+		{Kind: Data1, Payload: 0},
+		{Kind: Data2, Payload: ^uint64(0)},
+		{Kind: Data3, Payload: 1},
+		{Kind: Supervisor, Payload: 42},
+		{Kind: PartIRQ, Payload: 0xA5},
+		{Kind: Ack, Payload: 0},
+		{Kind: Ack, Payload: uint64(AckNak)},
+		{Kind: Ack, Payload: uint64(AckSup)},
+	}
+	for _, want := range cases {
+		buf := want.Encode(nil)
+		if len(buf) != want.FrameBytes() {
+			t.Errorf("%v: encoded %d bytes, FrameBytes says %d", want, len(buf), want.FrameBytes())
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Errorf("%v: decode error %v", want, err)
+			continue
+		}
+		if n != len(buf) {
+			t.Errorf("%v: consumed %d of %d", want, n, len(buf))
+		}
+		if got != want {
+			t.Errorf("decode = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	// Several packets back to back decode in order.
+	packets := []Packet{
+		{Kind: Data0, Payload: 1},
+		{Kind: Ack, Payload: 0},
+		{Kind: Supervisor, Payload: 99},
+		{Kind: PartIRQ, Payload: 7},
+		{Kind: Idle},
+		{Kind: Data3, Payload: 1 << 63},
+	}
+	var buf []byte
+	for _, p := range packets {
+		buf = p.Encode(buf)
+	}
+	for i, want := range packets {
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("packet %d = %+v, want %+v", i, got, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestDataPayloadBitFlipCaught(t *testing.T) {
+	// A single bit flip anywhere in the payload trips one of the two
+	// parity bits.
+	p := Packet{Kind: Data0, Payload: 0x0123456789ABCDEF}
+	base := p.Encode(nil)
+	for bit := 0; bit < 64; bit++ {
+		buf := append([]byte(nil), base...)
+		byteIdx := HeaderBytes + (63-bit)/8
+		buf[byteIdx] ^= 1 << (bit % 8)
+		_, _, err := Decode(buf)
+		if !errors.Is(err, ErrParity) {
+			t.Fatalf("payload bit %d flip: err = %v, want ErrParity", bit, err)
+		}
+	}
+}
+
+func TestHeaderBitFlipCaught(t *testing.T) {
+	p := Packet{Kind: Data2, Payload: 123456}
+	base := p.Encode(nil)
+	for bit := 2; bit < 8; bit++ { // type-code bits
+		buf := append([]byte(nil), base...)
+		buf[0] ^= 1 << bit
+		_, _, err := Decode(buf)
+		if !errors.Is(err, ErrHeaderCorrupt) {
+			t.Fatalf("header bit %d flip: err = %v, want ErrHeaderCorrupt", bit, err)
+		}
+	}
+	for bit := 0; bit < 2; bit++ { // parity bits
+		buf := append([]byte(nil), base...)
+		buf[0] ^= 1 << bit
+		_, _, err := Decode(buf)
+		if !errors.Is(err, ErrParity) {
+			t.Fatalf("parity bit %d flip: err = %v, want ErrParity", bit, err)
+		}
+	}
+}
+
+func TestAnySingleBitFlipDetectedQuick(t *testing.T) {
+	// Property: for random data packets and any single-bit flip of the
+	// frame, Decode returns an error (never a silently wrong packet).
+	f := func(payload uint64, seq uint8, bitSel uint16) bool {
+		p := Packet{Kind: DataKind(int(seq)), Payload: payload}
+		buf := p.Encode(nil)
+		bit := int(bitSel) % (len(buf) * 8)
+		buf[bit/8] ^= 1 << (bit % 8)
+		_, _, err := Decode(buf)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	p := Packet{Kind: Data1, Payload: 77}
+	buf := p.Encode(nil)
+	for n := 1; n < len(buf); n++ {
+		if _, _, err := Decode(buf[:n]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncated to %d: err = %v", n, err)
+		}
+	}
+	if _, _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty: err = %v", err)
+	}
+}
+
+func TestChecksumAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tx, rx Checksum
+	for i := 0; i < 1000; i++ {
+		w := rng.Uint64()
+		tx.Add(w)
+		rx.Add(w)
+	}
+	if !tx.Equal(&rx) {
+		t.Fatal("checksums of identical streams differ")
+	}
+	if tx.Count() != 1000 {
+		t.Fatalf("count = %d", tx.Count())
+	}
+}
+
+func TestChecksumDetectsDifferences(t *testing.T) {
+	// Order sensitivity and value sensitivity.
+	var a, b Checksum
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(1)
+	if a.Equal(&b) {
+		t.Fatal("checksum insensitive to order")
+	}
+	var c, d Checksum
+	c.Add(5)
+	d.Add(6)
+	if c.Equal(&d) {
+		t.Fatal("checksum insensitive to value")
+	}
+	var e, f Checksum
+	e.Add(0)
+	if e.Equal(&f) {
+		t.Fatal("checksum insensitive to count of zero words")
+	}
+}
+
+func TestChecksumQuick(t *testing.T) {
+	// Property: flipping any single word of a random stream changes the sum.
+	f := func(seed int64, idxSel uint8, flip uint64) bool {
+		if flip == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 16
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		var a, b Checksum
+		idx := int(idxSel) % n
+		for i, w := range words {
+			a.Add(w)
+			if i == idx {
+				w ^= flip
+			}
+			b.Add(w)
+		}
+		return !a.Equal(&b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameSizes(t *testing.T) {
+	// The 72-bit data frame is what produces the paper's 1.3 GB/s
+	// aggregate: 24 links x 500 Mbit/s x (64/72) = 10.67 Gbit/s = 1.33 GB/s.
+	if (Packet{Kind: Data0}).FrameBits() != 72 {
+		t.Fatalf("data frame = %d bits", (Packet{Kind: Data0}).FrameBits())
+	}
+	agg := 24.0 * 500e6 * 64.0 / 72.0 / 8.0 / 1e9 // GB/s
+	if agg < 1.25 || agg > 1.40 {
+		t.Fatalf("aggregate payload bandwidth %.3f GB/s, want ~1.33", agg)
+	}
+}
