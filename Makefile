@@ -1,0 +1,26 @@
+# Standard gate: everything a change must pass before it lands.
+# `make check` = vet + build + race-enabled tests.
+
+GO ?= go
+
+.PHONY: check vet build test race bench tables
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+tables:
+	$(GO) run ./cmd/benchtables

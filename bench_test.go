@@ -345,6 +345,79 @@ func BenchmarkHeatbathSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineDispatch compares the engine's two process tiers moving
+// the same event stream: a producer/consumer coroutine pair handing
+// words through a Queue (tier 1: goroutine parks and channel wakes per
+// event) versus a flat StateMachine timer chain (tier 2: plain function
+// calls from the dispatch loop). The gap is the per-event context-switch
+// cost the SCU refactor removed from the simulator's hot paths.
+func BenchmarkEngineDispatch(b *testing.B) {
+	const events = 4096
+	b.Run("coroutine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := event.New()
+			q := event.NewQueue[int](eng, "dispatch")
+			eng.Spawn("consumer", func(p *event.Proc) {
+				for j := 0; j < events; j++ {
+					q.Get(p)
+				}
+			})
+			eng.Spawn("producer", func(p *event.Proc) {
+				for j := 0; j < events; j++ {
+					p.Sleep(event.Nanosecond)
+					q.Put(j)
+				}
+			})
+			if err := eng.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+			eng.Shutdown()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/events, "ns/event")
+	})
+	b.Run("callback", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := event.New()
+			sm := eng.NewStateMachine("dispatch", "run")
+			n := 0
+			var step func()
+			step = func() {
+				n++
+				if n < events {
+					sm.Sleep(event.Nanosecond, step)
+					return
+				}
+				sm.Goto("done")
+			}
+			sm.Sleep(event.Nanosecond, step)
+			if err := eng.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+			if n != events {
+				b.Fatalf("ran %d of %d events", n, events)
+			}
+			eng.Shutdown()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/events, "ns/event")
+	})
+}
+
+// BenchmarkMachineBuild1024 builds and boots the paper's 1024-node
+// machine (§4: 8x4x4x2x2x2). Boot trains all 12288 outbound wires via
+// per-node continuation chains; since the refactor the whole machine
+// runs on zero process goroutines.
+func BenchmarkMachineBuild1024(b *testing.B) {
+	shape := geom.MakeShape(8, 4, 4, 2, 2, 2)
+	for i := 0; i < b.N; i++ {
+		eng := event.New()
+		m := machine.Build(eng, machine.DefaultConfig(shape))
+		if err := m.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		eng.Shutdown()
+	}
+}
+
 func BenchmarkGlobalSumMachine(b *testing.B) {
 	// Host cost of simulating one machine-wide reduction on 16 nodes.
 	eng := event.New()

@@ -80,6 +80,7 @@ type Port struct {
 	addr      Addr
 	bps       int64
 	rx        *event.Queue[Packet]
+	handler   func(Packet) // continuation-tier receiver; bypasses rx when set
 	busyUntil event.Time
 	TxPackets uint64
 	RxPackets uint64
@@ -141,7 +142,34 @@ func (p *Port) Send(pkt Packet) error {
 
 func (p *Port) deliver(pkt Packet) {
 	p.RxPackets++
+	if p.handler != nil {
+		// One-event deferral, matching the Put -> gate-wake hop a
+		// coroutine receiver takes, so event ordering is tier-invariant.
+		p.net.eng.At(p.net.eng.Now(), func() { p.handler(pkt) })
+		return
+	}
 	p.rx.Put(pkt)
+}
+
+// OnPacket attaches a continuation-tier receiver: every arriving packet
+// is handed to fn at its arrival time, with no receiver process or queue
+// in between. Packets already queued drain into fn in arrival order, in
+// one event at the current time. Attaching a handler replaces Recv; a
+// port has one receiver, on one tier or the other.
+func (p *Port) OnPacket(fn func(Packet)) {
+	p.handler = fn
+	if p.rx.Len() == 0 {
+		return
+	}
+	p.net.eng.At(p.net.eng.Now(), func() {
+		for {
+			pkt, ok := p.rx.TryGet()
+			if !ok {
+				return
+			}
+			fn(pkt)
+		}
+	})
 }
 
 // Recv blocks until a packet arrives.
@@ -204,51 +232,53 @@ type JTAGTarget interface {
 	StateCode() uint64
 }
 
-// JTAGController serves JTAG-over-UDP on a port. It is pure hardware: a
-// daemon process that answers every packet, alive from power-on.
+// JTAGController serves JTAG-over-UDP on a port. It is pure hardware —
+// combinational packet decode, alive from power-on — so it runs on the
+// engine's continuation tier: every machine has one per node, and none
+// of them costs a goroutine.
 type JTAGController struct {
 	Port   *Port
 	Target JTAGTarget
 	Served uint64
 }
 
-// Start spawns the controller's service loop.
+// Start attaches the controller to its port.
 func (c *JTAGController) Start(eng *event.Engine) {
-	eng.SpawnDaemon(fmt.Sprintf("jtag %#x", c.Port.addr), func(p *event.Proc) {
-		for {
-			pkt := c.Port.Recv(p)
-			if pkt.Port != PortJTAG {
-				continue // the JTAG connection answers only JTAG UDP (§2.3)
-			}
-			c.Served++
-			op, addr, data, err := DecodeJTAG(pkt.Payload)
-			reply := Packet{Dst: pkt.Src, Port: PortJTAG}
-			if err != nil {
-				reply.Payload = EncodeJTAG(0, 0, ^uint64(0))
-				_ = c.Port.Send(reply)
-				continue
-			}
-			switch op {
-			case OpLoadBoot:
-				c.Target.LoadBootWord(addr, data)
-				reply.Payload = EncodeJTAG(op, addr, 0)
-			case OpStartBoot:
-				var code uint64
-				if err := c.Target.StartBootKernel(); err != nil {
-					code = 1
-				}
-				reply.Payload = EncodeJTAG(op, 0, code)
-			case OpWriteWord:
-				c.Target.WriteWord(addr, data)
-				reply.Payload = EncodeJTAG(op, addr, 0)
-			case OpReadWord:
-				reply.Payload = EncodeJTAG(op, addr, c.Target.ReadWord(addr))
-			case OpStatus:
-				reply.Payload = EncodeJTAG(op, 0, c.Target.StateCode())
-			default:
-				reply.Payload = EncodeJTAG(0, 0, ^uint64(0))
-			}
-			_ = c.Port.Send(reply)
+	c.Port.OnPacket(c.serve)
+}
+
+// serve answers one packet, in its arrival event.
+func (c *JTAGController) serve(pkt Packet) {
+	if pkt.Port != PortJTAG {
+		return // the JTAG connection answers only JTAG UDP (§2.3)
+	}
+	c.Served++
+	op, addr, data, err := DecodeJTAG(pkt.Payload)
+	reply := Packet{Dst: pkt.Src, Port: PortJTAG}
+	if err != nil {
+		reply.Payload = EncodeJTAG(0, 0, ^uint64(0))
+		_ = c.Port.Send(reply)
+		return
+	}
+	switch op {
+	case OpLoadBoot:
+		c.Target.LoadBootWord(addr, data)
+		reply.Payload = EncodeJTAG(op, addr, 0)
+	case OpStartBoot:
+		var code uint64
+		if err := c.Target.StartBootKernel(); err != nil {
+			code = 1
 		}
-	})
+		reply.Payload = EncodeJTAG(op, 0, code)
+	case OpWriteWord:
+		c.Target.WriteWord(addr, data)
+		reply.Payload = EncodeJTAG(op, addr, 0)
+	case OpReadWord:
+		reply.Payload = EncodeJTAG(op, addr, c.Target.ReadWord(addr))
+	case OpStatus:
+		reply.Payload = EncodeJTAG(op, 0, c.Target.StateCode())
+	default:
+		reply.Payload = EncodeJTAG(0, 0, ^uint64(0))
+	}
+	_ = c.Port.Send(reply)
 }

@@ -1,8 +1,12 @@
 // Package event provides the discrete-event simulation core used by the
 // QCDOC machine model: a virtual clock with picosecond resolution, a
-// stable event queue, and cooperatively-scheduled simulation processes
-// built on goroutines with a single token of control (so no locking is
-// needed anywhere in the simulator's guts).
+// stable event queue, and a two-tier process model — coroutine processes
+// (Spawn/Proc, goroutines with a single token of control, for complex
+// control flow) and zero-goroutine continuation processes (At/After
+// callbacks and StateMachine, for the hot per-link hardware services).
+// Everything runs on the engine goroutine one event at a time, so no
+// locking is needed anywhere in the simulator's guts; see
+// statemachine.go for the tier model.
 //
 // The engine is deliberately sequential: the paper's machine is
 // self-synchronizing at the link level (§2.2), and a conservative,
@@ -104,6 +108,10 @@ type Engine struct {
 	blocked    map[*Proc]string
 	stopped    bool
 	terminated bool // Shutdown has been called; parked processes unwind
+
+	machines []*StateMachine // registered continuation-tier processes
+	tracer   func(at Time)   // observes every dispatched event, if set
+	executed uint64          // events dispatched since New
 }
 
 // New creates an engine with the clock at zero.
@@ -175,6 +183,10 @@ func (e *Engine) Run(until Time) error {
 		}
 		heap.Pop(&e.events)
 		e.now = next.at
+		e.executed++
+		if e.tracer != nil {
+			e.tracer(next.at)
+		}
 		next.fn()
 	}
 	return nil
@@ -185,6 +197,21 @@ func (e *Engine) RunAll() error { return e.Run(Forever) }
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed reports the number of events dispatched since the engine was
+// created.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// SetTracer installs fn to observe the timestamp of every dispatched
+// event (nil clears it). Determinism tests digest the observed sequence:
+// two runs of the same seeded simulation must dispatch identical event
+// streams.
+func (e *Engine) SetTracer(fn func(at Time)) { e.tracer = fn }
+
+// LiveProcs reports how many coroutine-tier processes have started and
+// not yet finished (continuation-tier processes hold no goroutines and
+// are not counted).
+func (e *Engine) LiveProcs() int { return e.live }
 
 // Proc is a simulation process: a goroutine that alternates with the
 // engine via an explicit control token. Process code may only touch

@@ -1,0 +1,88 @@
+package event
+
+// This file is the second tier of the two-tier scheduler. The engine
+// offers two ways to write a simulation process:
+//
+//   - Tier 1 — coroutines (Spawn/Proc): a goroutine with a single token
+//     of control, suspended at blocking calls. Natural for complex
+//     control flow (boot protocols, applications, tests), but each
+//     suspension costs a goroutine park and two channel handoffs on the
+//     host, and each live process pins a goroutine stack.
+//
+//   - Tier 2 — continuations (At/After callbacks + StateMachine): a flat
+//     state machine advanced entirely by engine callbacks. No goroutine,
+//     no channels; a step costs one function call. This is the tier for
+//     the hot per-link and per-node hardware services that exist in the
+//     tens of thousands on a big machine.
+//
+// Both tiers share the same event queue, so ordering between them is
+// exactly the deterministic (time, scheduling-sequence) order of the
+// queue, and simulated-time results do not depend on which tier a
+// process runs on.
+//
+// StateMachine itself is deliberately small: a name and a state label
+// (the callback-tier analogue of a Proc's name and blocked-reason, for
+// stall diagnostics), and generation-counted timers that cancel
+// themselves when the machine has moved on — the pattern that replaces
+// "sleep, unless something woke me first".
+
+// StateMachine is a named, flat simulation process on the continuation
+// tier. Drive it by mutating your own state and calling Goto to label
+// transitions; use Sleep for timers that are implicitly cancelled by the
+// next transition.
+type StateMachine struct {
+	eng   *Engine
+	name  string
+	state string
+	gen   uint64
+}
+
+// NewStateMachine registers a continuation-tier process with the engine
+// (the registry feeds DumpStateMachines; there is nothing to "start" —
+// the machine runs whenever its callbacks do).
+func (e *Engine) NewStateMachine(name, state string) *StateMachine {
+	sm := &StateMachine{eng: e, name: name, state: state}
+	e.machines = append(e.machines, sm)
+	return sm
+}
+
+// Name returns the process name.
+func (sm *StateMachine) Name() string { return sm.name }
+
+// State returns the current state label.
+func (sm *StateMachine) State() string { return sm.state }
+
+// Engine returns the engine the machine runs on.
+func (sm *StateMachine) Engine() *Engine { return sm.eng }
+
+// Goto transitions to a new state label and invalidates every timer
+// armed before the transition.
+func (sm *StateMachine) Goto(state string) {
+	sm.state = state
+	sm.gen++
+}
+
+// Sleep arms a timer: fn runs d from now unless the machine transitions
+// (Goto) first. This is the continuation-tier replacement for a
+// coroutine's "sleep unless woken": arm the timer, and let the wake path
+// call Goto.
+func (sm *StateMachine) Sleep(d Time, fn func()) {
+	gen := sm.gen
+	sm.eng.After(d, func() {
+		if sm.gen == gen {
+			fn()
+		}
+	})
+}
+
+// DumpStateMachines returns "name: state" for every registered
+// continuation-tier process — the callback-tier counterpart of the
+// blocked-process list in ErrStall, for debugging quiesced or wedged
+// simulations.
+func (e *Engine) DumpStateMachines() []string {
+	out := make([]string, len(e.machines))
+	for i, sm := range e.machines {
+		out[i] = sm.name + ": " + sm.state
+	}
+	return out
+}

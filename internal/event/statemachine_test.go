@@ -1,0 +1,132 @@
+package event
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestStateMachineGotoAndSleep(t *testing.T) {
+	e := New()
+	sm := e.NewStateMachine("tx", "idle")
+	if sm.Name() != "tx" || sm.State() != "idle" || sm.Engine() != e {
+		t.Fatalf("bad initial machine: %q %q", sm.Name(), sm.State())
+	}
+	var fired []Time
+	sm.Goto("run")
+	sm.Sleep(10*Nanosecond, func() { fired = append(fired, e.Now()) })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 10*Nanosecond {
+		t.Fatalf("timer fired at %v", fired)
+	}
+	if sm.State() != "run" {
+		t.Fatalf("state = %q", sm.State())
+	}
+}
+
+func TestStateMachineGotoCancelsSleep(t *testing.T) {
+	// A state transition invalidates timers armed in the old state: the
+	// continuation-tier analogue of a coroutine abandoning a sleep path.
+	e := New()
+	sm := e.NewStateMachine("tx", "window")
+	stale := false
+	sm.Sleep(Microsecond, func() { stale = true })
+	e.After(10*Nanosecond, func() { sm.Goto("run") })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if stale {
+		t.Fatal("timer from a left state fired")
+	}
+	// A timer armed in the new state still fires.
+	ok := false
+	sm.Sleep(Nanosecond, func() { ok = true })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("timer in current state did not fire")
+	}
+}
+
+func TestDumpStateMachines(t *testing.T) {
+	e := New()
+	e.NewStateMachine("a", "idle")
+	e.NewStateMachine("b", "run")
+	dump := e.DumpStateMachines()
+	if len(dump) != 2 || dump[0] != "a: idle" || dump[1] != "b: run" {
+		t.Fatalf("dump = %v", dump)
+	}
+}
+
+func TestExecutedAndTracer(t *testing.T) {
+	e := New()
+	var traced []Time
+	e.SetTracer(func(at Time) { traced = append(traced, at) })
+	e.After(5*Nanosecond, func() {})
+	e.After(2*Nanosecond, func() {})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Executed() != 2 {
+		t.Fatalf("executed = %d", e.Executed())
+	}
+	if len(traced) != 2 || traced[0] != 2*Nanosecond || traced[1] != 5*Nanosecond {
+		t.Fatalf("trace = %v", traced)
+	}
+}
+
+func TestShutdownUnwindsParkedProcs(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e, "never")
+	e.SpawnDaemon("rx", func(p *Proc) {
+		for {
+			q.Get(p)
+		}
+	})
+	e.Spawn("sleeper", func(p *Proc) { p.Sleep(Second) })
+	// Run to a horizon short of the sleeper's wake: both procs park.
+	if err := e.Run(Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if e.LiveProcs() != 2 {
+		t.Fatalf("live = %d before shutdown", e.LiveProcs())
+	}
+	e.Shutdown()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live = %d after shutdown", e.LiveProcs())
+	}
+}
+
+func TestShutdownLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		e := New()
+		q := NewQueue[int](e, "daemon")
+		e.SpawnDaemon("rx", func(p *Proc) {
+			for {
+				q.Get(p)
+			}
+		})
+		e.Spawn("tx", func(p *Proc) {
+			p.Sleep(Nanosecond)
+			q.Put(i)
+		})
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		e.Shutdown()
+	}
+	// Exited goroutines disappear from the count a beat after their final
+	// park handshake; poll briefly rather than flake.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines: %d before, %d after 8 engine lifecycles", before, got)
+	}
+}

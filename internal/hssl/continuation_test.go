@@ -1,0 +1,83 @@
+package hssl
+
+import (
+	"testing"
+
+	"qcdoc/internal/event"
+)
+
+// TestTrainAsyncMatchesTrain verifies the continuation-tier training
+// takes exactly the coroutine path's time and leaves the wire trained.
+func TestTrainAsyncMatchesTrain(t *testing.T) {
+	eng := event.New()
+	w := NewWire(eng, "w", DefaultClock, DefaultPropagation)
+	var doneAt event.Time
+	w.TrainAsync(func() { doneAt = eng.Now() })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Trained() {
+		t.Fatal("wire untrained after TrainAsync")
+	}
+	if doneAt != w.TrainTime() {
+		t.Fatalf("trained at %v, want %v", doneAt, w.TrainTime())
+	}
+
+	eng2 := event.New()
+	w2 := NewWire(eng2, "w2", DefaultClock, DefaultPropagation)
+	var procAt event.Time
+	eng2.Spawn("train", func(p *event.Proc) {
+		w2.Train(p)
+		procAt = p.Now()
+	})
+	if err := eng2.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if procAt != doneAt {
+		t.Fatalf("tiers disagree on training time: %v vs %v", doneAt, procAt)
+	}
+}
+
+// TestOnFrameDelivery checks the continuation-tier receiver: frames
+// arrive at the handler at the same times a coroutine receiver would see
+// them, and frames queued before the handler attaches drain in order.
+func TestOnFrameDelivery(t *testing.T) {
+	eng := event.New()
+	w := NewWire(eng, "w", DefaultClock, 0)
+	w.TrainAsync(nil)
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Two frames launched before any receiver exists.
+	if _, err := w.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Send([]byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	w.OnFrame(func(f Frame) { got = append(got, f.Bytes[0]) })
+	// A third frame arrives after the handler attaches.
+	if _, err := w.Send([]byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	var arriveAt event.Time
+	arriveAt, _ = w.Send([]byte{4})
+	var lastAt event.Time
+	w.handler = func(f Frame) {
+		got = append(got, f.Bytes[0])
+		lastAt = eng.Now()
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 4 {
+		t.Fatalf("frames = %v", got)
+	}
+	if lastAt != arriveAt {
+		t.Fatalf("last frame handled at %v, arrival %v", lastAt, arriveAt)
+	}
+}

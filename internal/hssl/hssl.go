@@ -60,6 +60,7 @@ type Wire struct {
 	clock   event.Hz
 	prop    event.Time
 	rx      *event.Queue[Frame]
+	handler func(Frame) // continuation-tier receiver; bypasses rx when set
 	trained bool
 
 	busyUntil event.Time
@@ -95,14 +96,31 @@ func (w *Wire) Clock() event.Hz { return w.clock }
 // ErrNotTrained is returned when data is sent before link training.
 var ErrNotTrained = errors.New("hssl: link not trained")
 
+// TrainTime is the duration of the power-on training handshake: the
+// serialization time of the training pattern plus one propagation delay.
+func (w *Wire) TrainTime() event.Time {
+	return w.clock.Cycles(int64(TrainingBytes*8)) + w.prop
+}
+
 // Train performs the power-on training handshake: the transmitter sends
 // the known TrainingBytes sequence so the receiver can lock its sampling
 // phase and byte boundaries. Takes the serialization time of the training
 // pattern plus one propagation delay.
 func (w *Wire) Train(p *event.Proc) {
-	bits := int64(TrainingBytes * 8)
-	p.Sleep(w.clock.Cycles(bits) + w.prop)
+	p.Sleep(w.TrainTime())
 	w.trained = true
+}
+
+// TrainAsync is the continuation-tier Train: the wire becomes trained
+// after TrainTime, then done (if non-nil) runs. The machine layer chains
+// these to train a node's links serially without a trainer process.
+func (w *Wire) TrainAsync(done func()) {
+	w.eng.After(w.TrainTime(), func() {
+		w.trained = true
+		if done != nil {
+			done()
+		}
+	})
 }
 
 // Trained reports whether the wire has completed training.
@@ -147,8 +165,45 @@ func (w *Wire) Send(frame []byte) (event.Time, error) {
 	w.stats.Frames++
 	w.stats.Bits += uint64(len(frame)) * 8
 
-	w.eng.At(arrive, func() { w.rx.Put(f) })
+	w.eng.At(arrive, func() { w.deliver(f) })
 	return arrive, nil
+}
+
+// deliver hands an arrived frame to the receiver: to the continuation-
+// tier handler when one is attached, otherwise into the rx queue for a
+// coroutine receiver. The handler runs in its own event at the arrival
+// time — the same one-event deferral a queued frame gets between Put and
+// the receiving process's wake — so intra-timestamp event ordering (and
+// with it, frame serialization order on shared return wires) is
+// identical across the two tiers.
+func (w *Wire) deliver(f Frame) {
+	if w.handler != nil {
+		w.eng.At(w.eng.Now(), func() { w.handler(f) })
+		return
+	}
+	w.rx.Put(f)
+}
+
+// OnFrame attaches a continuation-tier receiver: every arriving frame is
+// handed to fn at its arrival time, with no receiver process or queue in
+// between. Frames already queued drain into fn in arrival order, in one
+// event at the current time — the same timing a receiver process spawned
+// now would observe. Attaching a handler replaces Recv; a wire has one
+// receiver, on one tier or the other.
+func (w *Wire) OnFrame(fn func(Frame)) {
+	w.handler = fn
+	if w.rx.Len() == 0 {
+		return
+	}
+	w.eng.At(w.eng.Now(), func() {
+		for {
+			f, ok := w.rx.TryGet()
+			if !ok {
+				return
+			}
+			fn(f)
+		}
+	})
 }
 
 func equalBytes(a, b []byte) bool {

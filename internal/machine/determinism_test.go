@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/node"
+	"qcdoc/internal/qmp"
+	"qcdoc/internal/scu"
+)
+
+// traceRun builds a machine, attaches an event-order tracer, and runs a
+// mixed-tier workload: halo exchanges on the coroutine tier riding the
+// continuation-tier SCU link machines, a doubled global sum, and a
+// partition interrupt with its sampling-clock ticks. It returns a digest
+// of the full event order and a digest of every link's final checksum.
+func traceRun(t *testing.T, shape geom.Shape) (eventDigest, linkDigest, executed uint64, end event.Time) {
+	t.Helper()
+	eng := event.New()
+	h := fnv.New64a()
+	var buf [8]byte
+	eng.SetTracer(func(at event.Time) {
+		for i := range buf {
+			buf[i] = byte(uint64(at) >> (8 * i))
+		}
+		h.Write(buf[:])
+	})
+	m := Build(eng, DefaultConfig(shape))
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Shutdown()
+	fold := geom.IdentityFold(shape)
+	m.Nodes[1].SCU.RaisePartIRQ(0x04)
+	err := m.RunSPMD("trace", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			n := ctx.N
+			sendAddr := n.AllocWords(16)
+			recvAddr := n.AllocWords(16)
+			for i := 0; i < 16; i++ {
+				n.Mem.WriteWord(sendAddr+8*uint64(i), uint64(rank)<<32|uint64(i))
+			}
+			rt, err := n.SCU.StartRecv(geom.Link{Dim: 0, Dir: geom.Bwd}, scu.Contiguous(recvAddr, 16))
+			if err != nil {
+				panic(err)
+			}
+			st, err := n.SCU.StartSend(geom.Link{Dim: 0, Dir: geom.Fwd}, scu.Contiguous(sendAddr, 16))
+			if err != nil {
+				panic(err)
+			}
+			st.Wait(ctx.P)
+			rt.Wait(ctx.P)
+			c := qmp.New(ctx, fold)
+			c.GlobalSumFloat64Doubled(ctx.P, float64(rank)+0.5)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	lh := fnv.New64a()
+	for _, n := range m.Nodes {
+		for _, l := range geom.AllLinks() {
+			tx, rx := n.SCU.Checksums(l)
+			for _, w := range []uint64{tx.Sum(), tx.Count(), rx.Sum(), rx.Count()} {
+				for i := range buf {
+					buf[i] = byte(w >> (8 * i))
+				}
+				lh.Write(buf[:])
+			}
+		}
+	}
+	return h.Sum64(), lh.Sum64(), eng.Executed(), eng.Now()
+}
+
+// TestDeterministicReplay is the scheduler-refactor regression gate:
+// the same machine run twice must execute the identical event sequence —
+// same count, same time-ordered digest — and leave identical link
+// checksums, regardless of which tier each process runs on. A divergence
+// here means intra-timestamp event ordering changed, which would silently
+// shift every simulated-time result in the paper's experiments.
+func TestDeterministicReplay(t *testing.T) {
+	shape := geom.MakeShape(4, 2, 2)
+	e1, l1, n1, t1 := traceRun(t, shape)
+	e2, l2, n2, t2 := traceRun(t, shape)
+	if n1 != n2 {
+		t.Fatalf("event counts differ: %d vs %d", n1, n2)
+	}
+	if e1 != e2 {
+		t.Fatalf("event-order digests differ: %#x vs %#x", e1, e2)
+	}
+	if l1 != l2 {
+		t.Fatalf("link checksum digests differ: %#x vs %#x", l1, l2)
+	}
+	if t1 != t2 {
+		t.Fatalf("final times differ: %v vs %v", t1, t2)
+	}
+	if n1 == 0 {
+		t.Fatal("tracer saw no events")
+	}
+}

@@ -127,17 +127,24 @@ func (m *Machine) Wire(rank int, l geom.Link) *hssl.Wire {
 	return m.wires[rank][geom.LinkIndex(l)]
 }
 
-// TrainLinks trains every HSSL link, one trainer per node in parallel,
-// as the hardware does when powered on and released from reset (§2.2).
-// It runs the engine until training completes.
+// TrainLinks trains every HSSL link, all nodes in parallel with each
+// node's links in sequence, as the hardware does when powered on and
+// released from reset (§2.2). Each node's trainer is a continuation
+// chain on the event engine — building a 1024-node machine spawns no
+// goroutines. It runs the engine until training completes.
 func (m *Machine) TrainLinks() error {
 	for r := range m.Nodes {
-		r := r
-		m.Eng.Spawn(fmt.Sprintf("train%d", r), func(p *event.Proc) {
-			for _, w := range m.wires[r] {
-				w.Train(p)
+		wires := m.wires[r]
+		sm := m.Eng.NewStateMachine(fmt.Sprintf("train%d", r), "training")
+		var next func(i int)
+		next = func(i int) {
+			if i == len(wires) {
+				sm.Goto("trained")
+				return
 			}
-		})
+			wires[i].TrainAsync(func() { next(i + 1) })
+		}
+		next(0)
 	}
 	if err := m.Eng.RunAll(); err != nil {
 		return fmt.Errorf("machine: link training failed: %w", err)

@@ -1,0 +1,57 @@
+package node
+
+import (
+	"testing"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/memsys"
+	"qcdoc/internal/ppc440"
+)
+
+// TestComputeThenMatchesCompute pins the two tiers to the same timing
+// model: charging a kernel via the continuation-tier ComputeThen retires
+// at exactly the simulated time the coroutine-tier Compute returns at.
+func TestComputeThenMatchesCompute(t *testing.T) {
+	eng, n := testNode(t)
+	k := ppc440.KernelCost{Flops: 4000, FPUOps: 2000, LoadBytes: 8192, Level: memsys.EDRAM}
+	var thenAt event.Time
+	n.ComputeThen(k, func() { thenAt = eng.Now() })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if want := n.CPU.KernelTime(k, n.MemModel); thenAt != want {
+		t.Fatalf("ComputeThen retired at %v, want %v", thenAt, want)
+	}
+
+	eng2, n2 := testNode(t)
+	n2.ForceReady()
+	var procAt event.Time
+	n2.RunProgram("compute", func(ctx *Ctx) {
+		n2.Compute(ctx.P, k)
+		procAt = ctx.P.Now()
+	})
+	if err := eng2.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if procAt != thenAt {
+		t.Fatalf("tiers disagree: ComputeThen %v, Compute %v", thenAt, procAt)
+	}
+}
+
+// TestStreamThenMatchesStreamTime pins the continuation-tier memory
+// stream to the model's StreamTime, including the over-subscribed
+// page-miss regime.
+func TestStreamThenMatchesStreamTime(t *testing.T) {
+	m := memsys.DefaultModel()
+	for _, streams := range []int{memsys.PrefetchStreams, memsys.PrefetchStreams + 1} {
+		eng := event.New()
+		var doneAt event.Time
+		m.StreamThen(eng, memsys.EDRAM, 1<<16, streams, func() { doneAt = eng.Now() })
+		if err := eng.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		if want := m.StreamTime(memsys.EDRAM, 1<<16, streams); doneAt != want {
+			t.Fatalf("streams=%d: done at %v, want %v", streams, doneAt, want)
+		}
+	}
+}

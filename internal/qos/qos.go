@@ -65,26 +65,24 @@ func FromCtx(ctx *node.Ctx) *Kernel {
 	return k
 }
 
-// Start spawns the kernel thread. It runs from boot-kernel state onward;
-// in the real machine the boot kernel initializes this Ethernet
-// controller (§3.1).
+// Start attaches the kernel thread to its Ethernet port. It runs from
+// boot-kernel state onward; in the real machine the boot kernel
+// initializes this Ethernet controller (§3.1). The service loop is a
+// continuation on the event engine — one per node, no goroutines.
 func (k *Kernel) Start(eng *event.Engine) {
-	eng.SpawnDaemon(k.Node.Name+" kernel", k.serve)
+	k.Eth.OnPacket(k.serve)
 }
 
-// serve is the kernel thread's service loop.
-func (k *Kernel) serve(p *event.Proc) {
-	for {
-		pkt := k.Eth.Recv(p)
-		switch pkt.Port {
-		case ethjtag.PortBoot:
-			k.handleBoot(pkt)
-		case ethjtag.PortRPC:
-			k.handleRPC(p, pkt)
-		default:
-			// UDP to an unbound port: dropped, as a real sockets stack
-			// would.
-		}
+// serve handles one management packet, in its arrival event.
+func (k *Kernel) serve(pkt ethjtag.Packet) {
+	switch pkt.Port {
+	case ethjtag.PortBoot:
+		k.handleBoot(pkt)
+	case ethjtag.PortRPC:
+		k.handleRPC(pkt)
+	default:
+		// UDP to an unbound port: dropped, as a real sockets stack
+		// would.
 	}
 }
 
@@ -112,7 +110,7 @@ func (k *Kernel) KernelPackets() int { return k.kernelPackets }
 
 // handleRPC serves the qdaemon's RPC channel: job launch, status and
 // debugging pokes. Messages are simple space-separated text.
-func (k *Kernel) handleRPC(p *event.Proc, pkt ethjtag.Packet) {
+func (k *Kernel) handleRPC(pkt ethjtag.Packet) {
 	fields := strings.Fields(string(pkt.Payload))
 	if len(fields) == 0 {
 		k.reply(pkt, ethjtag.PortRPC, "err: empty rpc")

@@ -18,11 +18,21 @@ type pendingWord struct {
 	t    *Transfer // owning send transfer; nil for injected global words
 }
 
+// Transmit-engine state labels (continuation tier).
+const (
+	txIdle    = "idle"        // nothing to send
+	txStartup = "dma startup" // charging the DMA programming/fetch pipeline
+	txRun     = "run"         // streaming words
+	txWindow  = "window full" // a word is held, waiting for an ack
+)
+
 // linkUnit is the per-link hardware: a transmit engine feeding the
-// outbound wire and a receive engine draining the inbound wire. Both run
-// as daemon processes on the event engine. Acknowledgements for our
-// transmissions arrive on the inbound wire, multiplexed with the
-// neighbour's own traffic.
+// outbound wire and a receive engine draining the inbound wire. Both are
+// flat state machines on the engine's continuation tier — a 1024-node
+// machine has 12288 of each, so they must cost no goroutines and no
+// per-event channel handoffs. Acknowledgements for our transmissions
+// arrive on the inbound wire, multiplexed with the neighbour's own
+// traffic.
 type linkUnit struct {
 	scu  *SCU
 	link geom.Link
@@ -33,21 +43,31 @@ type linkUnit struct {
 	txSum scupkt.Checksum // data words transmitted (first transmissions)
 	rxSum scupkt.Checksum // data words accepted in order
 
-	// Transmit side.
-	txQ     *event.Queue[*Transfer]
-	injects []uint64 // global-operation words, priority over transfers
-	work    *event.Gate
-	ackGate *event.Gate
-	seqNext int
-	unacked []pendingWord
-	ackGen  uint64 // bumped on every head pop; invalidates stale timers
+	// Transmit side. The engine advances via pump(): every entry point
+	// that creates transmit work (a programmed send, an injected global
+	// word, a window-opening ack, the end of the DMA startup charge)
+	// calls pump, which sends words until it must park — idle, in the
+	// startup charge, or with the window full.
+	sm          *event.StateMachine
+	pumpPending bool        // a deferred pump event is queued
+	txPending   []*Transfer // programmed send transfers, FIFO
+	injects     []uint64    // global-operation words, priority over transfers
+	cur         *Transfer   // transfer currently streaming
+	curIdx      int         // next word index within cur
+	held        bool        // a fetched word is in hand, awaiting window room
+	heldWord    uint64
+	heldT       *Transfer
+	seqNext     int
+	unacked     []pendingWord
+	ackGen      uint64 // bumped on every head pop; invalidates stale timers
 
 	supPending bool
 	supWord    uint64
 	supQueue   []uint64
 	supGen     uint64
 
-	// Receive side.
+	// Receive side: a pure continuation — handleFrame runs directly in
+	// each frame's arrival event.
 	expect     int
 	nakPending bool
 	rxT        []*Transfer // programmed receive transfers, FIFO
@@ -57,20 +77,20 @@ type linkUnit struct {
 
 func newLinkUnit(s *SCU, l geom.Link, out, in *hssl.Wire) *linkUnit {
 	return &linkUnit{
-		scu:     s,
-		link:    l,
-		out:     out,
-		in:      in,
-		txQ:     event.NewQueue[*Transfer](s.eng, fmt.Sprintf("%s txq %v", s.name, l)),
-		work:    event.NewGate(s.eng),
-		ackGate: event.NewGate(s.eng),
+		scu:  s,
+		link: l,
+		out:  out,
+		in:   in,
 	}
 }
 
 func (lu *linkUnit) start() {
-	name := fmt.Sprintf("%s scu%v", lu.scu.name, lu.link)
-	lu.scu.eng.SpawnDaemon(name+" tx", lu.txProc)
-	lu.scu.eng.SpawnDaemon(name+" rx", lu.rxProc)
+	lu.sm = lu.scu.eng.NewStateMachine(
+		fmt.Sprintf("%s scu%v tx", lu.scu.name, lu.link), txIdle)
+	lu.in.OnFrame(lu.handleFrame)
+	if len(lu.injects) > 0 {
+		lu.kick(txIdle) // drain anything injected before Start
+	}
 }
 
 // sendFrame transmits a raw frame, treating an untrained wire as an
@@ -84,56 +104,105 @@ func (lu *linkUnit) sendFrame(frame []byte) {
 
 // --- Transmit engine ---------------------------------------------------
 
-func (lu *linkUnit) txProc(p *event.Proc) {
-	for {
-		if len(lu.injects) > 0 {
-			w := lu.injects[0]
-			lu.injects = lu.injects[1:]
-			lu.sendData(p, w, nil)
-			continue
-		}
-		if t, ok := lu.txQ.TryGet(); ok {
-			// DMA programming and the fetch pipeline to the first bit on
-			// the wire.
-			p.Sleep(lu.scu.cfg.Clock.Cycles(lu.scu.cfg.TxStartupCycles))
-			for i := 0; i < t.total; i++ {
-				// Global-operation pass-through words preempt between the
-				// words of a bulk transfer (they are latency critical).
-				for len(lu.injects) > 0 {
-					w := lu.injects[0]
-					lu.injects = lu.injects[1:]
-					lu.sendData(p, w, nil)
-				}
-				w := lu.scu.mem.ReadWord(t.Desc.Addr(i))
-				lu.sendData(p, w, t)
-			}
-			continue
-		}
-		lu.work.Wait(p, fmt.Sprintf("tx idle %v", lu.link))
-	}
-}
-
-// sendData transmits one data word, blocking while the "three in the
-// air" window is full.
-func (lu *linkUnit) sendData(p *event.Proc, w uint64, t *Transfer) {
-	for len(lu.unacked) >= lu.scu.cfg.Window {
-		lu.ackGate.Wait(p, fmt.Sprintf("window %v", lu.link))
-	}
-	seq := lu.seqNext
-	lu.seqNext = (lu.seqNext + 1) % scupkt.SeqMod
-	lu.unacked = append(lu.unacked, pendingWord{seq: seq, word: w, t: t})
-	lu.sendFrame(scupkt.Packet{Kind: scupkt.DataKind(seq), Payload: w}.Encode(nil))
-	lu.txSum.Add(w)
-	lu.stats.WordsSent++
-	if len(lu.unacked) == 1 {
-		lu.scheduleAckTimer()
-	}
+// queueSend programs a DMA send transfer and kicks the transmit engine.
+func (lu *linkUnit) queueSend(t *Transfer) {
+	lu.txPending = append(lu.txPending, t)
+	lu.kick(txIdle)
 }
 
 // inject queues a global-operation word for priority transmission.
 func (lu *linkUnit) inject(w uint64) {
 	lu.injects = append(lu.injects, w)
-	lu.work.Fire()
+	lu.kick(txIdle)
+}
+
+// kick wakes the transmit engine with a deferred pump if it is parked in
+// the given state — the continuation-tier equivalent of firing the gate
+// a waiting coroutine was parked on. The one-event deferral keeps
+// intra-timestamp ordering (and so frame serialization order on the
+// wires) identical to the coroutine tier; an engine that is already
+// running, charging its startup pipeline, or parked in a different state
+// ignores the kick, exactly as a gate fire with no waiter did.
+func (lu *linkUnit) kick(state string) {
+	if lu.sm == nil || lu.pumpPending || lu.sm.State() != state {
+		return
+	}
+	lu.pumpPending = true
+	lu.scu.eng.After(0, func() {
+		lu.pumpPending = false
+		lu.pump()
+	})
+}
+
+// pump advances the transmit engine until it parks. Word order matches
+// the hardware priorities: injected global-operation words preempt
+// between the words of a bulk transfer; a word fetched from memory while
+// the ack window is full stays in hand and goes out first when the
+// window opens.
+func (lu *linkUnit) pump() {
+	if lu.sm == nil {
+		return // SCU not started; queued work drains when Start runs
+	}
+	if lu.sm.State() == txStartup {
+		return // the startup timer will pump when the charge elapses
+	}
+	for {
+		if !lu.held {
+			switch {
+			case len(lu.injects) > 0:
+				lu.heldWord = lu.injects[0]
+				lu.injects = lu.injects[1:]
+				lu.heldT = nil
+				lu.held = true
+			case lu.cur != nil:
+				// Fetch the next word of the streaming transfer.
+				lu.heldWord = lu.scu.mem.ReadWord(lu.cur.Desc.Addr(lu.curIdx))
+				lu.heldT = lu.cur
+				lu.held = true
+				lu.curIdx++
+				if lu.curIdx == lu.cur.total {
+					lu.cur = nil
+					lu.curIdx = 0
+				}
+			case len(lu.txPending) > 0:
+				// DMA programming and the fetch pipeline to the first bit
+				// on the wire.
+				lu.cur = lu.txPending[0]
+				lu.txPending = lu.txPending[1:]
+				lu.curIdx = 0
+				lu.sm.Goto(txStartup)
+				startup := lu.scu.cfg.Clock.Cycles(lu.scu.cfg.TxStartupCycles)
+				lu.sm.Sleep(startup, func() {
+					lu.sm.Goto(txRun)
+					lu.pump()
+				})
+				return
+			default:
+				lu.sm.Goto(txIdle)
+				return
+			}
+		}
+		if len(lu.unacked) >= lu.scu.cfg.Window {
+			lu.sm.Goto(txWindow)
+			return // an ack will pump
+		}
+		lu.sendHeld()
+	}
+}
+
+// sendHeld transmits the word in hand (window room guaranteed by pump).
+func (lu *linkUnit) sendHeld() {
+	seq := lu.seqNext
+	lu.seqNext = (lu.seqNext + 1) % scupkt.SeqMod
+	lu.unacked = append(lu.unacked, pendingWord{seq: seq, word: lu.heldWord, t: lu.heldT})
+	lu.sendFrame(scupkt.Packet{Kind: scupkt.DataKind(seq), Payload: lu.heldWord}.Encode(nil))
+	lu.txSum.Add(lu.heldWord)
+	lu.stats.WordsSent++
+	lu.held = false
+	lu.heldT = nil
+	if len(lu.unacked) == 1 {
+		lu.scheduleAckTimer()
+	}
 }
 
 // scheduleAckTimer arms the lost-acknowledgement recovery timer for the
@@ -184,27 +253,26 @@ func (lu *linkUnit) scheduleSupTimer() {
 
 // --- Receive engine ----------------------------------------------------
 
-func (lu *linkUnit) rxProc(p *event.Proc) {
-	for {
-		f := lu.in.Recv(p)
-		pkt, _, err := scupkt.Decode(f.Bytes)
-		if err != nil {
-			lu.handleCorrupt(err)
-			continue
-		}
-		switch {
-		case pkt.Kind == scupkt.Ack:
-			lu.handleAck(uint8(pkt.Payload))
-		case pkt.Kind == scupkt.Supervisor:
-			lu.handleSupervisor(pkt.Payload)
-		case pkt.Kind == scupkt.PartIRQ:
-			lu.scu.part.receive(lu.link, uint8(pkt.Payload))
-		case pkt.Kind == scupkt.Idle:
-			// Trained links exchange idles; nothing to do.
-		default:
-			seq, _ := pkt.Kind.DataSeq()
-			lu.handleData(seq, pkt.Payload)
-		}
+// handleFrame is the receive engine: it runs in the arrival event of
+// every inbound frame.
+func (lu *linkUnit) handleFrame(f hssl.Frame) {
+	pkt, _, err := scupkt.Decode(f.Bytes)
+	if err != nil {
+		lu.handleCorrupt(err)
+		return
+	}
+	switch {
+	case pkt.Kind == scupkt.Ack:
+		lu.handleAck(uint8(pkt.Payload))
+	case pkt.Kind == scupkt.Supervisor:
+		lu.handleSupervisor(pkt.Payload)
+	case pkt.Kind == scupkt.PartIRQ:
+		lu.scu.part.receive(lu.link, uint8(pkt.Payload))
+	case pkt.Kind == scupkt.Idle:
+		// Trained links exchange idles; nothing to do.
+	default:
+		seq, _ := pkt.Kind.DataSeq()
+		lu.handleData(seq, pkt.Payload)
 	}
 }
 
@@ -353,7 +421,7 @@ func (lu *linkUnit) handleAck(flags uint8) {
 		if len(lu.unacked) > 0 {
 			lu.scheduleAckTimer()
 		}
-		lu.ackGate.Fire()
+		lu.kick(txWindow) // the window opened; release any held word
 	}
 	if flags&scupkt.AckNak != 0 {
 		// Automatic hardware resend: rewind and retransmit every word

@@ -191,8 +191,10 @@ func (s *SCU) AttachLink(l geom.Link, out, in *hssl.Wire) {
 // Attached reports whether the link has been wired.
 func (s *SCU) Attached(l geom.Link) bool { return s.links[geom.LinkIndex(l)] != nil }
 
-// Start spawns the per-link hardware engines (transmit and receive state
-// machines) as daemon processes. The wires must already be trained.
+// Start brings up the per-link hardware engines (transmit and receive
+// state machines) on the event engine's continuation tier — no
+// goroutines; a link costs only its state struct. The wires must already
+// be trained.
 func (s *SCU) Start() {
 	if s.started {
 		return
@@ -230,8 +232,7 @@ func (s *SCU) StartSend(l geom.Link, d DMADesc) (*Transfer, error) {
 		return nil, err
 	}
 	t := newTransfer(s.eng, l, d, true)
-	lu.txQ.Put(t)
-	lu.work.Fire()
+	lu.queueSend(t)
 	return t, nil
 }
 
