@@ -3,7 +3,14 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench tables
+# The pinned benchmark set tracked across allocation-path changes:
+# engine dispatch (both tiers), one machine-wide reduction, and the
+# full functional Wilson solve. `make bench` runs it with -benchmem so
+# per-op allocation counts are part of the record, and writes the
+# parsed results to BENCH_frames.json (one JSON entry per -count run).
+BENCH_SET = ^(BenchmarkEngineDispatch|BenchmarkGlobalSumMachine|BenchmarkE1FunctionalWilson)$$
+
+.PHONY: check vet build test race bench benchall tables
 
 check: vet build race
 
@@ -20,6 +27,10 @@ race:
 	$(GO) test -race ./...
 
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -count=5 . \
+		| $(GO) run ./cmd/benchjson -o BENCH_frames.json
+
+benchall:
 	$(GO) test -bench=. -benchmem ./...
 
 tables:

@@ -61,6 +61,7 @@ func BenchmarkE1FunctionalWilson(b *testing.B) {
 	gauge.Randomize(1)
 	rhs := lattice.NewFermionField(global)
 	rhs.Gaussian(2)
+	b.ReportAllocs()
 	var eff float64
 	var simNS float64
 	for i := 0; i < b.N; i++ {
@@ -354,6 +355,7 @@ func BenchmarkHeatbathSweep(b *testing.B) {
 func BenchmarkEngineDispatch(b *testing.B) {
 	const events = 4096
 	b.Run("coroutine", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			eng := event.New()
 			q := event.NewQueue[int](eng, "dispatch")
@@ -376,6 +378,7 @@ func BenchmarkEngineDispatch(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/events, "ns/event")
 	})
 	b.Run("callback", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			eng := event.New()
 			sm := eng.NewStateMachine("dispatch", "run")
@@ -427,6 +430,7 @@ func BenchmarkGlobalSumMachine(b *testing.B) {
 	}
 	defer eng.Shutdown()
 	fold := geom.IdentityFold(m.Cfg.Shape)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		err := m.RunSPMD("gsum", func(rank int) node.Program {

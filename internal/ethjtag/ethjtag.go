@@ -84,6 +84,39 @@ type Port struct {
 	busyUntil event.Time
 	TxPackets uint64
 	RxPackets uint64
+
+	// pend holds delivered packets awaiting their deferred handler event,
+	// a reusable ring (see deliver). Unlike an hssl wire, a port has many
+	// senders, so the Send -> arrival hop cannot share a ring — but the
+	// deliver -> handler hop is enqueued in deliver order and each event
+	// consumes exactly one packet, so a FIFO ring is exact there.
+	pend     []Packet
+	pendHead int
+	pendLen  int
+}
+
+// HandleEvent runs the deferred handler hand-off for the oldest pending
+// packet. It implements event.Handler and is not meant to be called
+// directly.
+func (p *Port) HandleEvent(uint64) {
+	pkt := p.pend[p.pendHead]
+	p.pend[p.pendHead] = Packet{}
+	p.pendHead = (p.pendHead + 1) % len(p.pend)
+	p.pendLen--
+	p.handler(pkt)
+}
+
+func (p *Port) pushPend(pkt Packet) {
+	if p.pendLen == len(p.pend) {
+		grown := make([]Packet, max(4, 2*len(p.pend)))
+		for i := 0; i < p.pendLen; i++ {
+			grown[i] = p.pend[(p.pendHead+i)%len(p.pend)]
+		}
+		p.pend = grown
+		p.pendHead = 0
+	}
+	p.pend[(p.pendHead+p.pendLen)%len(p.pend)] = pkt
+	p.pendLen++
 }
 
 // Attach adds an endpoint with the given line rate in bits/second.
@@ -145,7 +178,9 @@ func (p *Port) deliver(pkt Packet) {
 	if p.handler != nil {
 		// One-event deferral, matching the Put -> gate-wake hop a
 		// coroutine receiver takes, so event ordering is tier-invariant.
-		p.net.eng.At(p.net.eng.Now(), func() { p.handler(pkt) })
+		// The packet parks in the pend ring rather than a fresh closure.
+		p.pushPend(pkt)
+		p.net.eng.AtHandler(p.net.eng.Now(), p, 0)
 		return
 	}
 	p.rx.Put(pkt)

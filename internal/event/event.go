@@ -15,7 +15,6 @@
 package event
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -74,25 +73,80 @@ func (f Hz) Cycles(n int64) Time { return Time(n) * f.Cycle() }
 // CyclesOf returns how many whole cycles fit in d.
 func (f Hz) CyclesOf(d Time) int64 { return int64(d) / int64(f.Cycle()) }
 
-// An item in the event queue.
+// Handler is a pre-bound event target for the continuation tier's hot
+// paths. Scheduling a Handler copies only an interface word and a
+// uint64 argument into the event item, so services that fire an event
+// per wire frame (HSSL delivery, SCU pumps, ack timers) can run with
+// zero allocations per event — a closure passed to At/After would be a
+// fresh heap object every time. The arg value is returned to the
+// handler verbatim; targets use it to distinguish pipeline stages or to
+// carry a generation stamp.
+type Handler interface {
+	HandleEvent(arg uint64)
+}
+
+// An item in the event queue: either a closure (fn) or a pre-bound
+// handler invocation (h, arg) when fn is nil.
 type item struct {
 	at  Time
 	seq uint64 // stable FIFO order among simultaneous events
 	fn  func()
+	h   Handler
+	arg uint64
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). The sift
+// operations are hand-rolled rather than container/heap because
+// heap.Push boxes each item into an interface — a heap allocation per
+// scheduled event, which the allocation-free frame path cannot afford.
 type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *eventHeap) push(it item) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() item {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = item{} // release fn/handler references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return top
+		}
+		child := l
+		if r := l + 1; r < n && s.less(r, l) {
+			child = r
+		}
+		if !s.less(child, i) {
+			return top
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+}
 
 // Engine is a discrete-event scheduler. All simulation activity —
 // scheduled callbacks and process resumptions — runs on the goroutine
@@ -132,11 +186,27 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, item{at: t, seq: e.seq, fn: fn})
+	e.events.push(item{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// AtHandler schedules h.HandleEvent(arg) at time t (clamped to now if in
+// the past). Unlike At, it allocates nothing per call: the handler and
+// argument travel inside the event item.
+func (e *Engine) AtHandler(t Time, h Handler, arg uint64) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(item{at: t, seq: e.seq, h: h, arg: arg})
+}
+
+// AfterHandler schedules h.HandleEvent(arg) d from now, allocation-free.
+func (e *Engine) AfterHandler(d Time, h Handler, arg uint64) {
+	e.AtHandler(e.now+d, h, arg)
+}
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -176,18 +246,21 @@ func (e *Engine) Run(until Time) error {
 			}
 			return nil
 		}
-		next := e.events[0]
-		if next.at > until {
+		if e.events[0].at > until {
 			e.now = until
 			return nil
 		}
-		heap.Pop(&e.events)
+		next := e.events.pop()
 		e.now = next.at
 		e.executed++
 		if e.tracer != nil {
 			e.tracer(next.at)
 		}
-		next.fn()
+		if next.fn != nil {
+			next.fn()
+		} else {
+			next.h.HandleEvent(next.arg)
+		}
 	}
 	return nil
 }

@@ -87,10 +87,10 @@ func kennedyPendleton(st *rng.Stream, alpha float64) latmath.SU2 {
 	if b0 < -1 {
 		b0 = -1
 	}
-	norm := math.Sqrt(math.Max(0, 1-b0*b0))
+	norm := math.Sqrt(max(0, 1-b0*b0))
 	// Uniform direction on the sphere.
 	cosT := 2*st.Float64() - 1
-	sinT := math.Sqrt(math.Max(0, 1-cosT*cosT))
+	sinT := math.Sqrt(max(0, 1-cosT*cosT))
 	phi := 2 * math.Pi * st.Float64()
 	return latmath.SU2{
 		A0: b0,

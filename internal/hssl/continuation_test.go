@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"qcdoc/internal/event"
+	"qcdoc/internal/scupkt"
 )
 
 // TestTrainAsyncMatchesTrain verifies the continuation-tier training
@@ -49,26 +50,26 @@ func TestOnFrameDelivery(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Two frames launched before any receiver exists.
-	if _, err := w.Send([]byte{1}); err != nil {
+	if _, err := w.Send(scupkt.WireOf([]byte{1})); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.Send([]byte{2}); err != nil {
+	if _, err := w.Send(scupkt.WireOf([]byte{2})); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.RunAll(); err != nil {
 		t.Fatal(err)
 	}
 	var got []byte
-	w.OnFrame(func(f Frame) { got = append(got, f.Bytes[0]) })
+	w.OnFrame(func(f Frame) { got = append(got, f.Bytes()[0]) })
 	// A third frame arrives after the handler attaches.
-	if _, err := w.Send([]byte{3}); err != nil {
+	if _, err := w.Send(scupkt.WireOf([]byte{3})); err != nil {
 		t.Fatal(err)
 	}
 	var arriveAt event.Time
-	arriveAt, _ = w.Send([]byte{4})
+	arriveAt, _ = w.Send(scupkt.WireOf([]byte{4}))
 	var lastAt event.Time
 	w.handler = func(f Frame) {
-		got = append(got, f.Bytes[0])
+		got = append(got, f.Bytes()[0])
 		lastAt = eng.Now()
 	}
 	if err := eng.RunAll(); err != nil {

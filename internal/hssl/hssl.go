@@ -8,6 +8,11 @@
 // The motherboard provides a matched-impedance path with no redrive, so
 // propagation is a small fixed time-of-flight; dense packaging keeps it
 // to a few nanoseconds even through metres of cable (§1, §2.4).
+//
+// Frames are fixed-size values (scupkt.Wire) carried by value from the
+// transmitter through the in-flight ring to the receiver: the hardware
+// has no allocator, and neither does the steady-state path here. See
+// DESIGN.md §9 for the frame memory model.
 package hssl
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 
 	"qcdoc/internal/event"
+	"qcdoc/internal/scupkt"
 )
 
 // DefaultClock is the paper's target link speed: the links run at the
@@ -31,16 +37,21 @@ const DefaultPropagation = 5 * event.Nanosecond
 // framing.
 const TrainingBytes = 64
 
-// Frame is one serialized packet in flight on a wire.
+// Frame is one serialized packet in flight on a wire: the frame bytes
+// as a value (the embedded scupkt.Wire) plus a monotone per-wire frame
+// number used by fault injectors. Frames are copied, never shared — a
+// receiver may keep its Frame as long as it likes without pinning any
+// wire state.
 type Frame struct {
-	Bytes []byte
-	Seq   uint64 // monotone per-wire frame number, used by fault injectors
+	scupkt.Wire
+	Seq uint64
 }
 
-// FaultFunc may mutate a frame in flight (it receives its own copy and
-// returns the possibly-corrupted bytes). A nil FaultFunc means a clean
-// wire.
-type FaultFunc func(f Frame) []byte
+// FaultFunc may corrupt a frame in flight by mutating it in place,
+// reporting whether it changed anything. A nil FaultFunc means a clean
+// wire. The non-faulting path must be free: a hook that leaves the
+// frame alone just returns false, with no copy.
+type FaultFunc func(f *Frame) bool
 
 // Stats counts wire activity.
 type Stats struct {
@@ -48,6 +59,17 @@ type Stats struct {
 	Bits      uint64
 	Corrupted uint64 // frames altered by the fault injector
 }
+
+// Delivery stages for the wire's pre-bound event handler. Each frame
+// takes the arrive stage and, when a continuation-tier receiver is
+// attached, one handle stage — the same one-event deferral a queued
+// frame gets between Put and the receiving process's wake, so
+// intra-timestamp event ordering (and with it frame serialization order
+// on shared return wires) is identical across the two tiers.
+const (
+	wireArrive uint64 = iota // the last bit has reached the receiver
+	wireHandle               // hand the ring head to the OnFrame handler
+)
 
 // Wire is one uni-directional bit-serial link between two neighbouring
 // nodes. Frames are serialized at the link clock (one bit per cycle),
@@ -67,6 +89,16 @@ type Wire struct {
 	seq       uint64
 	fault     FaultFunc
 	stats     Stats
+
+	// In-flight frames, a reusable ring: Send pushes at the tail, the
+	// delivery events pop the head. Arrival order equals send order (the
+	// wire is point-to-point and serialization is FIFO), so the ring
+	// replaces a per-frame delivery closure without changing anything
+	// observable. It grows to the wire's high-water mark once and is
+	// then allocation-free.
+	fly     []Frame
+	flyHead int
+	flyLen  int
 }
 
 // NewWire creates a wire on the engine. clock is the serial bit rate;
@@ -141,7 +173,11 @@ func (w *Wire) SerializeTime(nBytes int) event.Time {
 // caller: the SCU hardware queues into the serializer; flow control
 // happens one layer up via the ack window. An untrained wire rejects
 // traffic.
-func (w *Wire) Send(frame []byte) (event.Time, error) {
+//
+// The frame travels by value: Send copies the bits into the in-flight
+// ring, so the caller's Wire value is dead the moment Send returns, and
+// nothing on the steady-state path touches the heap.
+func (w *Wire) Send(data scupkt.Wire) (event.Time, error) {
 	if !w.trained {
 		return 0, fmt.Errorf("%w: %s", ErrNotTrained, w.name)
 	}
@@ -149,39 +185,67 @@ func (w *Wire) Send(frame []byte) (event.Time, error) {
 	if w.busyUntil > start {
 		start = w.busyUntil
 	}
-	ser := w.SerializeTime(len(frame))
+	ser := w.SerializeTime(data.Len())
 	w.busyUntil = start + ser
 	arrive := w.busyUntil + w.prop
 
 	w.seq++
-	f := Frame{Bytes: append([]byte(nil), frame...), Seq: w.seq}
+	w.stats.Frames++
+	w.stats.Bits += uint64(data.Len()) * 8
+
+	// Push first, then let the fault injector mutate the ring slot in
+	// place: taking the address of a stack frame here would defeat escape
+	// analysis and put one Frame on the heap per send, fault or no fault.
+	w.pushInFlight(Frame{Wire: data, Seq: w.seq})
 	if w.fault != nil {
-		mutated := w.fault(f)
-		if !equalBytes(mutated, f.Bytes) {
+		slot := &w.fly[(w.flyHead+w.flyLen-1)%len(w.fly)]
+		if w.fault(slot) {
 			w.stats.Corrupted++
 		}
-		f.Bytes = mutated
 	}
-	w.stats.Frames++
-	w.stats.Bits += uint64(len(frame)) * 8
-
-	w.eng.At(arrive, func() { w.deliver(f) })
+	w.eng.AtHandler(arrive, w, wireArrive)
 	return arrive, nil
 }
 
-// deliver hands an arrived frame to the receiver: to the continuation-
-// tier handler when one is attached, otherwise into the rx queue for a
-// coroutine receiver. The handler runs in its own event at the arrival
-// time — the same one-event deferral a queued frame gets between Put and
-// the receiving process's wake — so intra-timestamp event ordering (and
-// with it, frame serialization order on shared return wires) is
-// identical across the two tiers.
-func (w *Wire) deliver(f Frame) {
-	if w.handler != nil {
-		w.eng.At(w.eng.Now(), func() { w.handler(f) })
-		return
+// HandleEvent dispatches the wire's delivery pipeline stages; it
+// implements event.Handler and is not meant to be called directly.
+// Arrival events fire in send order (FIFO serialization), so each stage
+// operates on the in-flight ring's head.
+func (w *Wire) HandleEvent(stage uint64) {
+	switch stage {
+	case wireArrive:
+		if w.handler == nil {
+			w.rx.Put(w.popInFlight())
+			return
+		}
+		w.eng.AtHandler(w.eng.Now(), w, wireHandle)
+	case wireHandle:
+		w.handler(w.popInFlight())
 	}
-	w.rx.Put(f)
+}
+
+func (w *Wire) pushInFlight(f Frame) {
+	if w.flyLen == len(w.fly) {
+		w.growInFlight()
+	}
+	w.fly[(w.flyHead+w.flyLen)%len(w.fly)] = f
+	w.flyLen++
+}
+
+func (w *Wire) popInFlight() Frame {
+	f := w.fly[w.flyHead]
+	w.flyHead = (w.flyHead + 1) % len(w.fly)
+	w.flyLen--
+	return f
+}
+
+func (w *Wire) growInFlight() {
+	grown := make([]Frame, max(4, 2*len(w.fly)))
+	for i := 0; i < w.flyLen; i++ {
+		grown[i] = w.fly[(w.flyHead+i)%len(w.fly)]
+	}
+	w.fly = grown
+	w.flyHead = 0
 }
 
 // OnFrame attaches a continuation-tier receiver: every arriving frame is
@@ -206,18 +270,6 @@ func (w *Wire) OnFrame(fn func(Frame)) {
 	})
 }
 
-func equalBytes(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
 // Recv blocks the process until the next frame arrives.
 func (w *Wire) Recv(p *event.Proc) Frame { return w.rx.Get(p) }
 
@@ -232,17 +284,13 @@ func (w *Wire) Busy() bool { return w.busyUntil > w.eng.Now() }
 // the parity check must catch and the window protocol must repair.
 func FlipBitOnce(seq uint64, bit int) FaultFunc {
 	done := false
-	return func(f Frame) []byte {
-		if done || f.Seq != seq {
-			return f.Bytes
+	return func(f *Frame) bool {
+		if done || f.Seq != seq || f.Len() == 0 {
+			return false
 		}
 		done = true
-		out := append([]byte(nil), f.Bytes...)
-		if n := len(out) * 8; n > 0 {
-			b := bit % n
-			out[b/8] ^= 1 << (b % 8)
-		}
-		return out
+		f.FlipBit(bit)
+		return true
 	}
 }
 
@@ -253,15 +301,11 @@ func FlipBitEvery(n uint64) FaultFunc {
 	if n == 0 {
 		n = 1
 	}
-	return func(f Frame) []byte {
-		if f.Seq%n != 0 {
-			return f.Bytes
+	return func(f *Frame) bool {
+		if f.Seq%n != 0 || f.Len() == 0 {
+			return false
 		}
-		out := append([]byte(nil), f.Bytes...)
-		if len(out) > 0 {
-			bit := int(f.Seq) % (len(out) * 8)
-			out[bit/8] ^= 1 << (bit % 8)
-		}
-		return out
+		f.FlipBit(int(f.Seq))
+		return true
 	}
 }

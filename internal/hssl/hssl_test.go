@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"qcdoc/internal/event"
+	"qcdoc/internal/scupkt"
 )
 
 func trainedWire(e *event.Engine) *Wire {
@@ -19,7 +20,7 @@ func trainedWire(e *event.Engine) *Wire {
 func TestUntrainedRejects(t *testing.T) {
 	e := event.New()
 	w := NewWire(e, "w", DefaultClock, DefaultPropagation)
-	if _, err := w.Send([]byte{1, 2, 3}); !errors.Is(err, ErrNotTrained) {
+	if _, err := w.Send(scupkt.WireOf([]byte{1, 2, 3})); !errors.Is(err, ErrNotTrained) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -50,7 +51,7 @@ func TestSerializationTiming(t *testing.T) {
 	e := event.New()
 	w := trainedWire(e)
 	start := e.Now()
-	arrive, err := w.Send(make([]byte, 9))
+	arrive, err := w.Send(scupkt.WireOf(make([]byte, 9)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,8 +63,8 @@ func TestSerializationTiming(t *testing.T) {
 	e.Spawn("rx", func(p *event.Proc) {
 		f := w.Recv(p)
 		gotAt = p.Now()
-		if len(f.Bytes) != 9 {
-			t.Errorf("frame len %d", len(f.Bytes))
+		if f.Len() != 9 {
+			t.Errorf("frame len %d", f.Len())
 		}
 	})
 	if err := e.RunAll(); err != nil {
@@ -79,8 +80,8 @@ func TestFIFOAndBackToBackSerialization(t *testing.T) {
 	e := event.New()
 	w := trainedWire(e)
 	base := e.Now()
-	a1, _ := w.Send(make([]byte, 9))
-	a2, _ := w.Send(make([]byte, 9))
+	a1, _ := w.Send(scupkt.WireOf(make([]byte, 9)))
+	a2, _ := w.Send(scupkt.WireOf(make([]byte, 9)))
 	ser := w.SerializeTime(9)
 	if a1 != base+ser+DefaultPropagation {
 		t.Fatalf("first frame at %v", a1)
@@ -106,12 +107,17 @@ func TestPayloadIntegrity(t *testing.T) {
 	e := event.New()
 	w := trainedWire(e)
 	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF}
-	if _, err := w.Send(payload); err != nil {
+	frame := scupkt.WireOf(payload)
+	if _, err := w.Send(frame); err != nil {
 		t.Fatal(err)
 	}
-	payload[0] = 0 // caller mutates its buffer after send; wire must not care
+	payload[0] = 0   // frames travel by value; the source buffer is dead at Send
+	frame.FlipBit(1) // and so is the caller's Wire value
 	var got []byte
-	e.Spawn("rx", func(p *event.Proc) { got = w.Recv(p).Bytes })
+	e.Spawn("rx", func(p *event.Proc) {
+		f := w.Recv(p)
+		got = append(got, f.Bytes()...)
+	})
 	if err := e.RunAll(); err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +136,7 @@ func TestBandwidthMatchesClock(t *testing.T) {
 	start := e.Now()
 	var last event.Time
 	for i := 0; i < 1000; i++ {
-		last, _ = w.Send(make([]byte, 9))
+		last, _ = w.Send(scupkt.WireOf(make([]byte, 9)))
 	}
 	want := start + DefaultClock.Cycles(1000*72) + DefaultPropagation
 	if last != want {
@@ -149,7 +155,7 @@ func TestFaultInjectionOnce(t *testing.T) {
 	w := trainedWire(e)
 	w.SetFault(FlipBitOnce(2, 3))
 	for i := 0; i < 3; i++ {
-		if _, err := w.Send([]byte{0x00}); err != nil {
+		if _, err := w.Send(scupkt.WireOf([]byte{0x00})); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -162,13 +168,13 @@ func TestFaultInjectionOnce(t *testing.T) {
 	if err := e.RunAll(); err != nil {
 		t.Fatal(err)
 	}
-	if frames[0].Bytes[0] != 0 {
+	if frames[0].Bytes()[0] != 0 {
 		t.Fatal("frame 1 corrupted")
 	}
-	if frames[1].Bytes[0] != 1<<3 {
-		t.Fatalf("frame 2 = %#x, want bit 3 flipped", frames[1].Bytes[0])
+	if frames[1].Bytes()[0] != 1<<3 {
+		t.Fatalf("frame 2 = %#x, want bit 3 flipped", frames[1].Bytes()[0])
 	}
-	if frames[2].Bytes[0] != 0 {
+	if frames[2].Bytes()[0] != 0 {
 		t.Fatal("frame 3 corrupted")
 	}
 	if w.Stats().Corrupted != 1 {
@@ -181,7 +187,7 @@ func TestFaultInjectionEvery(t *testing.T) {
 	w := trainedWire(e)
 	w.SetFault(FlipBitEvery(4))
 	for i := 0; i < 16; i++ {
-		w.Send([]byte{0, 0})
+		w.Send(scupkt.WireOf([]byte{0, 0}))
 	}
 	if err := e.RunAll(); err != nil {
 		t.Fatal(err)
@@ -204,7 +210,7 @@ func TestReset(t *testing.T) {
 	if w.Trained() {
 		t.Fatal("still trained after reset")
 	}
-	if _, err := w.Send([]byte{1}); !errors.Is(err, ErrNotTrained) {
+	if _, err := w.Send(scupkt.WireOf([]byte{1})); !errors.Is(err, ErrNotTrained) {
 		t.Fatalf("err = %v", err)
 	}
 }

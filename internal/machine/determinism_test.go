@@ -6,6 +6,7 @@ import (
 
 	"qcdoc/internal/event"
 	"qcdoc/internal/geom"
+	"qcdoc/internal/hssl"
 	"qcdoc/internal/node"
 	"qcdoc/internal/qmp"
 	"qcdoc/internal/scu"
@@ -16,7 +17,8 @@ import (
 // continuation-tier SCU link machines, a doubled global sum, and a
 // partition interrupt with its sampling-clock ticks. It returns a digest
 // of the full event order and a digest of every link's final checksum.
-func traceRun(t *testing.T, shape geom.Shape) (eventDigest, linkDigest, executed uint64, end event.Time) {
+// mutate, if non-nil, runs after boot — e.g. to install fault injectors.
+func traceRun(t *testing.T, shape geom.Shape, mutate func(*Machine)) (eventDigest, linkDigest, executed uint64, end event.Time) {
 	t.Helper()
 	eng := event.New()
 	h := fnv.New64a()
@@ -32,6 +34,9 @@ func traceRun(t *testing.T, shape geom.Shape) (eventDigest, linkDigest, executed
 		t.Fatal(err)
 	}
 	defer eng.Shutdown()
+	if mutate != nil {
+		mutate(m)
+	}
 	fold := geom.IdentityFold(shape)
 	m.Nodes[1].SCU.RaisePartIRQ(0x04)
 	err := m.RunSPMD("trace", func(rank int) node.Program {
@@ -85,8 +90,8 @@ func traceRun(t *testing.T, shape geom.Shape) (eventDigest, linkDigest, executed
 // shift every simulated-time result in the paper's experiments.
 func TestDeterministicReplay(t *testing.T) {
 	shape := geom.MakeShape(4, 2, 2)
-	e1, l1, n1, t1 := traceRun(t, shape)
-	e2, l2, n2, t2 := traceRun(t, shape)
+	e1, l1, n1, t1 := traceRun(t, shape, nil)
+	e2, l2, n2, t2 := traceRun(t, shape, nil)
 	if n1 != n2 {
 		t.Fatalf("event counts differ: %d vs %d", n1, n2)
 	}
@@ -101,5 +106,50 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 	if n1 == 0 {
 		t.Fatal("tracer saw no events")
+	}
+}
+
+// TestDeterministicReplayWithFaults re-runs the replay gate with a
+// single-bit error injector on one wire (the E12 scenario: parity
+// detect, nak, hardware rewind-resend). The recovery machinery — fault
+// hook mutating the value frame in place, nak/rewind, ack-timeout
+// timers — must be exactly as deterministic as the clean path: same
+// event sequence, same link checksums, run after run.
+func TestDeterministicReplayWithFaults(t *testing.T) {
+	shape := geom.MakeShape(4, 2, 2)
+	var mm *Machine
+	inject := func(m *Machine) {
+		mm = m
+		m.Wire(0, geom.Link{Dim: 0, Dir: geom.Fwd}).SetFault(hssl.FlipBitEvery(7))
+	}
+	e1, l1, n1, t1 := traceRun(t, shape, inject)
+
+	// The injector must actually have exercised the recovery path.
+	var stats scu.Stats
+	for _, n := range mm.Nodes {
+		s := n.SCU.Stats()
+		stats.Resends += s.Resends
+		stats.ParityErrors += s.ParityErrors
+		stats.HeaderErrors += s.HeaderErrors
+	}
+	if stats.ParityErrors+stats.HeaderErrors == 0 {
+		t.Fatal("fault injector corrupted nothing")
+	}
+	if stats.Resends == 0 {
+		t.Fatal("no hardware resends despite injected errors")
+	}
+
+	e2, l2, n2, t2 := traceRun(t, shape, inject)
+	if n1 != n2 {
+		t.Fatalf("event counts differ: %d vs %d", n1, n2)
+	}
+	if e1 != e2 {
+		t.Fatalf("event-order digests differ: %#x vs %#x", e1, e2)
+	}
+	if l1 != l2 {
+		t.Fatalf("link checksum digests differ: %#x vs %#x", l1, l2)
+	}
+	if t1 != t2 {
+		t.Fatalf("final times differ: %v vs %v", t1, t2)
 	}
 }

@@ -176,7 +176,7 @@ func (c *Comm) axisGather(p *event.Proc, axis int, word uint64, doubled bool) []
 	kb := n - 1 - kf
 	cfg0 := scu.GlobalConfig{
 		In: bwd, HasIn: true, Outs: []geom.Link{fwd},
-		Expect: kf, Forward: maxInt(kf-1, 0),
+		Expect: kf, Forward: max(kf-1, 0),
 		OnWord: func(k int, w uint64) {
 			origin := ((me-1-k)%n + n) % n
 			vals[origin] = w
@@ -184,7 +184,7 @@ func (c *Comm) axisGather(p *event.Proc, axis int, word uint64, doubled bool) []
 	}
 	cfg1 := scu.GlobalConfig{
 		In: fwd, HasIn: true, Outs: []geom.Link{bwd},
-		Expect: kb, Forward: maxInt(kb-1, 0),
+		Expect: kb, Forward: max(kb-1, 0),
 		OnWord: func(k int, w uint64) {
 			origin := (me + 1 + k) % n
 			vals[origin] = w
@@ -205,13 +205,6 @@ func (c *Comm) axisGather(p *event.Proc, axis int, word uint64, doubled bool) []
 		c.n.SCU.DisableGlobal(1)
 	}
 	return vals
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Broadcast distributes root's word to every node by dimension-order

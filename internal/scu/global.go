@@ -95,11 +95,9 @@ func (s *SCU) ConfigureGlobal(id int, cfg GlobalConfig) error {
 		// withheld acknowledgement — the global-operation analogue of
 		// programming a receive.
 		lu := s.links[geom.LinkIndex(cfg.In)]
-		if len(lu.idleBuf) > 0 {
-			held := lu.idleBuf
-			lu.idleBuf = nil
-			for _, w := range held {
-				gs.receive(w)
+		if lu.idleBufLen > 0 {
+			for lu.idleBufLen > 0 {
+				gs.receive(lu.popIdle())
 			}
 			lu.sendCumAck()
 		}

@@ -29,10 +29,14 @@ const (
 // linkUnit is the per-link hardware: a transmit engine feeding the
 // outbound wire and a receive engine draining the inbound wire. Both are
 // flat state machines on the engine's continuation tier — a 1024-node
-// machine has 12288 of each, so they must cost no goroutines and no
-// per-event channel handoffs. Acknowledgements for our transmissions
-// arrive on the inbound wire, multiplexed with the neighbour's own
-// traffic.
+// machine has 12288 of each, so they must cost no goroutines, no
+// per-event channel handoffs, and (like the hardware, which has no
+// allocator) no steady-state heap allocations per data word: packets
+// encode into value frames, the resend and idle-receive registers are
+// fixed arrays, and the recurring timers and pump wake-ups are pre-bound
+// callbacks created once at Start. Acknowledgements for our
+// transmissions arrive on the inbound wire, multiplexed with the
+// neighbour's own traffic.
 type linkUnit struct {
 	scu  *SCU
 	link geom.Link
@@ -49,22 +53,35 @@ type linkUnit struct {
 	// calls pump, which sends words until it must park — idle, in the
 	// startup charge, or with the window full.
 	sm          *event.StateMachine
-	pumpPending bool        // a deferred pump event is queued
-	txPending   []*Transfer // programmed send transfers, FIFO
-	injects     []uint64    // global-operation words, priority over transfers
-	cur         *Transfer   // transfer currently streaming
-	curIdx      int         // next word index within cur
-	held        bool        // a fetched word is in hand, awaiting window room
+	pumpFn      func()       // pre-bound deferred pump (see kick)
+	startupFn   func()       // pre-bound end of the DMA startup charge
+	ackTimer    *event.Timer // lost-acknowledgement recovery
+	supTimer    *event.Timer // supervisor stop-and-wait recovery
+	pumpPending bool         // a deferred pump event is queued
+	txPending   []*Transfer  // programmed send transfers, FIFO
+	cur         *Transfer    // transfer currently streaming
+	curIdx      int          // next word index within cur
+	held        bool         // a fetched word is in hand, awaiting window room
 	heldWord    uint64
 	heldT       *Transfer
 	seqNext     int
-	unacked     []pendingWord
-	ackGen      uint64 // bumped on every head pop; invalidates stale timers
+
+	// injects holds global-operation words awaiting priority
+	// transmission: a head-indexed queue whose storage is reset (not
+	// freed) whenever it drains, so a long run of global operations
+	// reuses one backing array.
+	injects []uint64
+	injHead int
+
+	// unacked is the hardware's resend register file: at most Window
+	// (< SeqMod) words, a fixed ring.
+	unacked     [scupkt.SeqMod]pendingWord
+	unackedHead int
+	unackedLen  int
 
 	supPending bool
 	supWord    uint64
 	supQueue   []uint64
-	supGen     uint64
 
 	// Receive side: a pure continuation — handleFrame runs directly in
 	// each frame's arrival event.
@@ -72,7 +89,12 @@ type linkUnit struct {
 	nakPending bool
 	rxT        []*Transfer // programmed receive transfers, FIFO
 	rxProgress int         // words stored into rxT[0]
-	idleBuf    []uint64    // idle-receive holding registers (max Window)
+
+	// idleBuf is the idle-receive register file: up to Window words held
+	// without acknowledgement until a receive is programmed.
+	idleBuf     [scupkt.SeqMod]uint64
+	idleBufHead int
+	idleBufLen  int
 }
 
 func newLinkUnit(s *SCU, l geom.Link, out, in *hssl.Wire) *linkUnit {
@@ -87,17 +109,29 @@ func newLinkUnit(s *SCU, l geom.Link, out, in *hssl.Wire) *linkUnit {
 func (lu *linkUnit) start() {
 	lu.sm = lu.scu.eng.NewStateMachine(
 		fmt.Sprintf("%s scu%v tx", lu.scu.name, lu.link), txIdle)
+	// The recurring per-word callbacks are bound once here; arming or
+	// deferring them afterwards allocates nothing.
+	lu.pumpFn = func() {
+		lu.pumpPending = false
+		lu.pump()
+	}
+	lu.startupFn = func() {
+		lu.sm.Goto(txRun)
+		lu.pump()
+	}
+	lu.ackTimer = lu.scu.eng.NewTimer(lu.ackTimeout)
+	lu.supTimer = lu.scu.eng.NewTimer(lu.supTimeout)
 	lu.in.OnFrame(lu.handleFrame)
-	if len(lu.injects) > 0 {
+	if lu.injectsLen() > 0 {
 		lu.kick(txIdle) // drain anything injected before Start
 	}
 }
 
-// sendFrame transmits a raw frame, treating an untrained wire as an
-// assembly error (the machine trains all links at boot, before the SCU
-// engines start moving data).
-func (lu *linkUnit) sendFrame(frame []byte) {
-	if _, err := lu.out.Send(frame); err != nil {
+// sendPacket encodes and transmits one packet as a value frame, treating
+// an untrained wire as an assembly error (the machine trains all links
+// at boot, before the SCU engines start moving data).
+func (lu *linkUnit) sendPacket(p scupkt.Packet) {
+	if _, err := lu.out.Send(p.Wire()); err != nil {
 		panic(fmt.Sprintf("scu %s link %v: %v", lu.scu.name, lu.link, err))
 	}
 }
@@ -116,6 +150,20 @@ func (lu *linkUnit) inject(w uint64) {
 	lu.kick(txIdle)
 }
 
+func (lu *linkUnit) injectsLen() int { return len(lu.injects) - lu.injHead }
+
+// popInject removes the oldest queued global word. When the queue
+// drains, the backing array is kept and reused for the next burst.
+func (lu *linkUnit) popInject() uint64 {
+	w := lu.injects[lu.injHead]
+	lu.injHead++
+	if lu.injHead == len(lu.injects) {
+		lu.injects = lu.injects[:0]
+		lu.injHead = 0
+	}
+	return w
+}
+
 // kick wakes the transmit engine with a deferred pump if it is parked in
 // the given state — the continuation-tier equivalent of firing the gate
 // a waiting coroutine was parked on. The one-event deferral keeps
@@ -128,10 +176,7 @@ func (lu *linkUnit) kick(state string) {
 		return
 	}
 	lu.pumpPending = true
-	lu.scu.eng.After(0, func() {
-		lu.pumpPending = false
-		lu.pump()
-	})
+	lu.scu.eng.After(0, lu.pumpFn)
 }
 
 // pump advances the transmit engine until it parks. Word order matches
@@ -149,9 +194,8 @@ func (lu *linkUnit) pump() {
 	for {
 		if !lu.held {
 			switch {
-			case len(lu.injects) > 0:
-				lu.heldWord = lu.injects[0]
-				lu.injects = lu.injects[1:]
+			case lu.injectsLen() > 0:
+				lu.heldWord = lu.popInject()
 				lu.heldT = nil
 				lu.held = true
 			case lu.cur != nil:
@@ -172,17 +216,14 @@ func (lu *linkUnit) pump() {
 				lu.curIdx = 0
 				lu.sm.Goto(txStartup)
 				startup := lu.scu.cfg.Clock.Cycles(lu.scu.cfg.TxStartupCycles)
-				lu.sm.Sleep(startup, func() {
-					lu.sm.Goto(txRun)
-					lu.pump()
-				})
+				lu.sm.Sleep(startup, lu.startupFn)
 				return
 			default:
 				lu.sm.Goto(txIdle)
 				return
 			}
 		}
-		if len(lu.unacked) >= lu.scu.cfg.Window {
+		if lu.unackedLen >= lu.scu.cfg.Window {
 			lu.sm.Goto(txWindow)
 			return // an ack will pump
 		}
@@ -194,31 +235,32 @@ func (lu *linkUnit) pump() {
 func (lu *linkUnit) sendHeld() {
 	seq := lu.seqNext
 	lu.seqNext = (lu.seqNext + 1) % scupkt.SeqMod
-	lu.unacked = append(lu.unacked, pendingWord{seq: seq, word: lu.heldWord, t: lu.heldT})
-	lu.sendFrame(scupkt.Packet{Kind: scupkt.DataKind(seq), Payload: lu.heldWord}.Encode(nil))
+	lu.unacked[(lu.unackedHead+lu.unackedLen)%scupkt.SeqMod] =
+		pendingWord{seq: seq, word: lu.heldWord, t: lu.heldT}
+	lu.unackedLen++
+	lu.sendPacket(scupkt.Packet{Kind: scupkt.DataKind(seq), Payload: lu.heldWord})
 	lu.txSum.Add(lu.heldWord)
 	lu.stats.WordsSent++
 	lu.held = false
 	lu.heldT = nil
-	if len(lu.unacked) == 1 {
-		lu.scheduleAckTimer()
+	if lu.unackedLen == 1 {
+		lu.ackTimer.Arm(lu.scu.cfg.AckTimeout)
 	}
 }
 
-// scheduleAckTimer arms the lost-acknowledgement recovery timer for the
-// current oldest unacknowledged word. It fires only if no pop has
-// happened in the meantime.
-func (lu *linkUnit) scheduleAckTimer() {
-	gen := lu.ackGen
-	lu.scu.eng.After(lu.scu.cfg.AckTimeout, func() {
-		if lu.ackGen != gen || len(lu.unacked) == 0 {
-			return
-		}
-		pw := lu.unacked[0]
-		lu.sendFrame(scupkt.Packet{Kind: scupkt.DataKind(pw.seq), Payload: pw.word}.Encode(nil))
-		lu.stats.Resends++
-		lu.scheduleAckTimer()
-	})
+// ackTimeout is the lost-acknowledgement recovery: if the oldest
+// unacknowledged word has not been acked within AckTimeout, resend it
+// and restart the clock. Arming bumps the timer's generation, so any
+// pop of the window head implicitly cancels the outstanding timer by
+// re-arming (or stopping) it.
+func (lu *linkUnit) ackTimeout() {
+	if lu.unackedLen == 0 {
+		return
+	}
+	pw := lu.unacked[lu.unackedHead]
+	lu.sendPacket(scupkt.Packet{Kind: scupkt.DataKind(pw.seq), Payload: pw.word})
+	lu.stats.Resends++
+	lu.ackTimer.Arm(lu.scu.cfg.AckTimeout)
 }
 
 // sendSupervisor transmits a supervisor word with stop-and-wait
@@ -234,29 +276,28 @@ func (lu *linkUnit) sendSupervisor(w uint64) {
 func (lu *linkUnit) transmitSup(w uint64) {
 	lu.supPending = true
 	lu.supWord = w
-	lu.sendFrame(scupkt.Packet{Kind: scupkt.Supervisor, Payload: w}.Encode(nil))
+	lu.sendPacket(scupkt.Packet{Kind: scupkt.Supervisor, Payload: w})
 	lu.stats.SupsSent++
-	lu.scheduleSupTimer()
+	lu.supTimer.Arm(lu.scu.cfg.AckTimeout)
 }
 
-func (lu *linkUnit) scheduleSupTimer() {
-	gen := lu.supGen
-	lu.scu.eng.After(lu.scu.cfg.AckTimeout, func() {
-		if lu.supGen != gen || !lu.supPending {
-			return
-		}
-		lu.sendFrame(scupkt.Packet{Kind: scupkt.Supervisor, Payload: lu.supWord}.Encode(nil))
-		lu.stats.Resends++
-		lu.scheduleSupTimer()
-	})
+// supTimeout resends the outstanding supervisor word (stop-and-wait
+// recovery); the supervisor ack stops the timer.
+func (lu *linkUnit) supTimeout() {
+	if !lu.supPending {
+		return
+	}
+	lu.sendPacket(scupkt.Packet{Kind: scupkt.Supervisor, Payload: lu.supWord})
+	lu.stats.Resends++
+	lu.supTimer.Arm(lu.scu.cfg.AckTimeout)
 }
 
 // --- Receive engine ----------------------------------------------------
 
 // handleFrame is the receive engine: it runs in the arrival event of
-// every inbound frame.
+// every inbound frame, decoding the value frame in place.
 func (lu *linkUnit) handleFrame(f hssl.Frame) {
-	pkt, _, err := scupkt.Decode(f.Bytes)
+	pkt, _, err := f.Decode()
 	if err != nil {
 		lu.handleCorrupt(err)
 		return
@@ -298,14 +339,14 @@ func (lu *linkUnit) sendNak() {
 	}
 	lu.nakPending = true
 	flags := scupkt.AckNak | uint8(lu.lastAccepted())&scupkt.AckSeqMask
-	lu.sendFrame(scupkt.Packet{Kind: scupkt.Ack, Payload: uint64(flags)}.Encode(nil))
+	lu.sendPacket(scupkt.Packet{Kind: scupkt.Ack, Payload: uint64(flags)})
 	lu.stats.NaksSent++
 }
 
 // sendCumAck acknowledges everything accepted so far.
 func (lu *linkUnit) sendCumAck() {
 	flags := uint8(lu.lastAccepted()) & scupkt.AckSeqMask
-	lu.sendFrame(scupkt.Packet{Kind: scupkt.Ack, Payload: uint64(flags)}.Encode(nil))
+	lu.sendPacket(scupkt.Packet{Kind: scupkt.Ack, Payload: uint64(flags)})
 	lu.stats.AcksSent++
 }
 
@@ -313,7 +354,7 @@ func (lu *linkUnit) handleData(seq int, w uint64) {
 	delta := (seq - lu.expect + scupkt.SeqMod) % scupkt.SeqMod
 	if delta != 0 {
 		lu.stats.Duplicates++
-		if len(lu.idleBuf) > 0 {
+		if lu.idleBufLen > 0 {
 			// Duplicates of held words while acks are withheld; stay silent
 			// so the sender remains blocked (idle receive).
 			return
@@ -344,15 +385,24 @@ func (lu *linkUnit) handleData(seq int, w uint64) {
 		// Idle receive: hold the word in an SCU register and withhold the
 		// acknowledgement; the sender's window will block it after
 		// Window words (§2.2).
-		if len(lu.idleBuf) >= lu.scu.cfg.Window {
+		if lu.idleBufLen >= lu.scu.cfg.Window {
 			panic(fmt.Sprintf("scu %s link %v: idle-receive overflow (window protocol violated)",
 				lu.scu.name, lu.link))
 		}
-		lu.idleBuf = append(lu.idleBuf, w)
+		lu.idleBuf[(lu.idleBufHead+lu.idleBufLen)%scupkt.SeqMod] = w
+		lu.idleBufLen++
 		return
 	}
 	lu.storeWord(w)
 	lu.sendCumAck()
+}
+
+// popIdle removes the oldest idle-held word.
+func (lu *linkUnit) popIdle() uint64 {
+	w := lu.idleBuf[lu.idleBufHead]
+	lu.idleBufHead = (lu.idleBufHead + 1) % scupkt.SeqMod
+	lu.idleBufLen--
+	return w
 }
 
 // storeWord lands an accepted word in local memory via the receive DMA.
@@ -373,10 +423,8 @@ func (lu *linkUnit) storeWord(w uint64) {
 func (lu *linkUnit) programRecv(t *Transfer) {
 	lu.rxT = append(lu.rxT, t)
 	drained := false
-	for len(lu.idleBuf) > 0 && len(lu.rxT) > 0 {
-		w := lu.idleBuf[0]
-		lu.idleBuf = lu.idleBuf[1:]
-		lu.storeWord(w)
+	for lu.idleBufLen > 0 && len(lu.rxT) > 0 {
+		lu.storeWord(lu.popIdle())
 		drained = true
 	}
 	if drained {
@@ -385,8 +433,8 @@ func (lu *linkUnit) programRecv(t *Transfer) {
 }
 
 func (lu *linkUnit) containsSeq(seq int) bool {
-	for _, pw := range lu.unacked {
-		if pw.seq == seq {
+	for i := 0; i < lu.unackedLen; i++ {
+		if lu.unacked[(lu.unackedHead+i)%scupkt.SeqMod].seq == seq {
 			return true
 		}
 	}
@@ -396,7 +444,7 @@ func (lu *linkUnit) containsSeq(seq int) bool {
 func (lu *linkUnit) handleAck(flags uint8) {
 	if flags&scupkt.AckSup != 0 {
 		lu.supPending = false
-		lu.supGen++
+		lu.supTimer.Stop()
 		if len(lu.supQueue) > 0 {
 			next := lu.supQueue[0]
 			lu.supQueue = lu.supQueue[1:]
@@ -408,9 +456,9 @@ func (lu *linkUnit) handleAck(flags uint8) {
 	if lu.containsSeq(a) {
 		// Cumulative: pop everything up to and including a.
 		for {
-			pw := lu.unacked[0]
-			lu.unacked = lu.unacked[1:]
-			lu.ackGen++
+			pw := lu.unacked[lu.unackedHead]
+			lu.unackedHead = (lu.unackedHead + 1) % scupkt.SeqMod
+			lu.unackedLen--
 			if pw.t != nil {
 				pw.t.progress(lu.scu.eng, lu.scu.eng.Now())
 			}
@@ -418,16 +466,21 @@ func (lu *linkUnit) handleAck(flags uint8) {
 				break
 			}
 		}
-		if len(lu.unacked) > 0 {
-			lu.scheduleAckTimer()
+		// Every head pop restarts (or, with nothing left in flight,
+		// stops) the lost-ack recovery clock.
+		if lu.unackedLen > 0 {
+			lu.ackTimer.Arm(lu.scu.cfg.AckTimeout)
+		} else {
+			lu.ackTimer.Stop()
 		}
 		lu.kick(txWindow) // the window opened; release any held word
 	}
 	if flags&scupkt.AckNak != 0 {
 		// Automatic hardware resend: rewind and retransmit every word
 		// still unacknowledged, in order.
-		for _, pw := range lu.unacked {
-			lu.sendFrame(scupkt.Packet{Kind: scupkt.DataKind(pw.seq), Payload: pw.word}.Encode(nil))
+		for i := 0; i < lu.unackedLen; i++ {
+			pw := lu.unacked[(lu.unackedHead+i)%scupkt.SeqMod]
+			lu.sendPacket(scupkt.Packet{Kind: scupkt.DataKind(pw.seq), Payload: pw.word})
 			lu.stats.Resends++
 		}
 	}
@@ -436,7 +489,7 @@ func (lu *linkUnit) handleAck(flags uint8) {
 func (lu *linkUnit) handleSupervisor(w uint64) {
 	lu.scu.lastSup[geom.LinkIndex(lu.link)] = w
 	lu.stats.SupsReceived++
-	lu.sendFrame(scupkt.Packet{Kind: scupkt.Ack, Payload: uint64(scupkt.AckSup)}.Encode(nil))
+	lu.sendPacket(scupkt.Packet{Kind: scupkt.Ack, Payload: uint64(scupkt.AckSup)})
 	lu.stats.AcksSent++
 	if lu.scu.onSupervisor != nil {
 		lu.scu.onSupervisor(lu.link, w)
@@ -444,6 +497,6 @@ func (lu *linkUnit) handleSupervisor(w uint64) {
 }
 
 func (lu *linkUnit) sendPartIRQ(mask uint8) {
-	lu.sendFrame(scupkt.Packet{Kind: scupkt.PartIRQ, Payload: uint64(mask)}.Encode(nil))
+	lu.sendPacket(scupkt.Packet{Kind: scupkt.PartIRQ, Payload: uint64(mask)})
 	lu.stats.PartIRQsSent++
 }

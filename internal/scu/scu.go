@@ -95,6 +95,12 @@ func (c Config) withDefaults() Config {
 	if c.AckTimeout == 0 {
 		c.AckTimeout = d.AckTimeout
 	}
+	if c.Window >= scupkt.SeqMod {
+		// The window protocol cannot distinguish a full window from an
+		// empty one once Window reaches the sequence modulus, and the
+		// link unit's resend/idle-receive register files are sized SeqMod.
+		panic(fmt.Sprintf("scu: Window %d must be < scupkt.SeqMod (%d)", c.Window, scupkt.SeqMod))
+	}
 	return c
 }
 

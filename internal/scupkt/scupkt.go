@@ -160,6 +160,63 @@ const (
 	IdleFrame    = HeaderBytes
 )
 
+// MaxFrameBytes bounds every frame the SCU can put on a wire: the
+// paper's 74-bit wire frame rounded up to whole bytes. Because no frame
+// is ever larger, a frame fits a fixed-size value (Wire) and the whole
+// simulated data path — encode, serialize, deliver, decode — can run
+// without dynamic allocation, matching hardware that has none.
+const MaxFrameBytes = 10
+
+// Wire is one frame as it exists on the bit-serial link: a fixed-size
+// byte array plus a length, passed **by value** through the transmit
+// and receive pipelines. Value semantics are the memory model of the
+// hardware registers it stands in for — handing a Wire to another layer
+// copies the bits, so no layer can alias or retain another's buffer,
+// and the steady-state frame path allocates nothing.
+type Wire struct {
+	n   uint8
+	buf [MaxFrameBytes]byte
+}
+
+// WireOf builds a frame from raw bytes (tests and fault rigs). It
+// panics if b exceeds MaxFrameBytes, which no legal frame does.
+func WireOf(b []byte) Wire {
+	var w Wire
+	if len(b) > MaxFrameBytes {
+		panic("scupkt: frame larger than MaxFrameBytes")
+	}
+	w.n = uint8(copy(w.buf[:], b))
+	return w
+}
+
+// Len returns the frame's size in bytes.
+func (w *Wire) Len() int { return int(w.n) }
+
+// Bits returns the frame's size on the bit-serial link.
+func (w *Wire) Bits() int { return 8 * int(w.n) }
+
+// Bytes returns the frame's contents as a slice of the receiver's
+// backing array. The slice aliases the Wire it was taken from — use it
+// for inspection in place, not for retention.
+func (w *Wire) Bytes() []byte { return w.buf[:w.n] }
+
+// FlipBit inverts one bit of the frame, indexed little-endian within
+// each byte and taken modulo the frame's bit length — the single-bit
+// wire error of §2.2 that parity must catch.
+func (w *Wire) FlipBit(bit int) {
+	if w.n == 0 {
+		return
+	}
+	bit %= int(w.n) * 8
+	w.buf[bit/8] ^= 1 << (bit % 8)
+}
+
+// Decode parses the packet held in the frame. Semantics match the
+// package-level Decode, with no intermediate buffer.
+func (w *Wire) Decode() (Packet, int, error) {
+	return Decode(w.buf[:w.n])
+}
+
 // FrameBytes returns the wire size of the packet in bytes.
 func (p Packet) FrameBytes() int {
 	switch {
@@ -177,8 +234,10 @@ func (p Packet) FrameBytes() int {
 // FrameBits returns the wire size in bits (the HSSL link is bit-serial).
 func (p Packet) FrameBits() int { return 8 * p.FrameBytes() }
 
-// Encode serializes the packet, appending to dst and returning the result.
-func (p Packet) Encode(dst []byte) []byte {
+// Wire encodes the packet directly into a value frame — the per-word
+// path of the SCU transmit engines, with no heap allocation.
+func (p Packet) Wire() Wire {
+	var w Wire
 	var par uint8
 	switch p.Kind {
 	case Idle:
@@ -188,17 +247,26 @@ func (p Packet) Encode(dst []byte) []byte {
 	default: // Data0..3, Supervisor
 		par = parityBits(p.Payload)
 	}
-	dst = append(dst, encodeKind(p.Kind)<<2|par)
+	w.buf[0] = encodeKind(p.Kind)<<2 | par
+	w.n = HeaderBytes
 	switch p.Kind {
 	case Idle:
 	case PartIRQ, Ack:
-		dst = append(dst, byte(p.Payload))
+		w.buf[HeaderBytes] = byte(p.Payload)
+		w.n = HeaderBytes + 1
 	default:
-		for shift := 56; shift >= 0; shift -= 8 {
-			dst = append(dst, byte(p.Payload>>shift))
+		for i, shift := 0, 56; shift >= 0; i, shift = i+1, shift-8 {
+			w.buf[HeaderBytes+i] = byte(p.Payload >> shift)
 		}
+		w.n = DataFrame
 	}
-	return dst
+	return w
+}
+
+// Encode serializes the packet, appending to dst and returning the result.
+func (p Packet) Encode(dst []byte) []byte {
+	w := p.Wire()
+	return append(dst, w.buf[:w.n]...)
 }
 
 // Errors returned by Decode. Header and parity failures cause the
