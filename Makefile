@@ -8,7 +8,7 @@ GO ?= go
 # full functional Wilson solve. `make bench` runs it with -benchmem so
 # per-op allocation counts are part of the record, and writes the
 # parsed results to BENCH_frames.json (one JSON entry per -count run).
-BENCH_SET = ^(BenchmarkEngineDispatch|BenchmarkGlobalSumMachine|BenchmarkE1FunctionalWilson)$$
+BENCH_SET = ^(BenchmarkEngineDispatch|BenchmarkGlobalSumMachine|BenchmarkTelemetryOverhead|BenchmarkE1FunctionalWilson)$$
 
 .PHONY: check vet build test race bench benchall tables
 

@@ -421,6 +421,56 @@ func BenchmarkMachineBuild1024(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead runs the E4 nearest-neighbour word path on
+// a persistent 2-node machine with telemetry fully off versus fully on
+// (counter registry enabled, per-node CPU counters live, flight recorder
+// attached). The two must be within noise of each other: counters are
+// plain field increments on paths the simulator already executes, and
+// the recorder overwrites preallocated ring slots. Allocations per op
+// must not change either.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, enable bool) {
+		eng := event.New()
+		m := machine.Build(eng, machine.DefaultConfig(geom.MakeShape(2)))
+		if err := m.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Shutdown()
+		if enable {
+			m.EnableTelemetry()
+			eng.SetRecorder(event.NewRecorder(0))
+		}
+		addrs := []uint64{m.Nodes[0].AllocWords(1), m.Nodes[1].AllocWords(1)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := m.RunSPMD("lat", func(rank int) node.Program {
+				return func(ctx *node.Ctx) {
+					n := ctx.N
+					a := addrs[rank]
+					if rank == 0 {
+						n.Mem.WriteWord(a, 42)
+						if _, err := n.SCU.StartSend(geom.Link{Dim: 0, Dir: geom.Fwd}, scu.Contiguous(a, 1)); err != nil {
+							panic(err)
+						}
+					} else {
+						rt, err := n.SCU.StartRecv(geom.Link{Dim: 0, Dir: geom.Bwd}, scu.Contiguous(a, 1))
+						if err != nil {
+							panic(err)
+						}
+						rt.Wait(ctx.P)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}
+
 func BenchmarkGlobalSumMachine(b *testing.B) {
 	// Host cost of simulating one machine-wide reduction on 16 nodes.
 	eng := event.New()

@@ -12,8 +12,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -49,22 +51,38 @@ func parseLine(line string) (Result, bool) {
 	return r, len(r.Metrics) > 0
 }
 
+// scan reads benchmark output from r, echoing every line to echo, and
+// returns the parsed results. Non-benchmark lines (test chatter, PASS,
+// stray stderr) are skipped; input with no benchmark line at all is an
+// error, so a broken pipeline fails loudly instead of producing an
+// empty JSON file that silently passes downstream checks.
+func scan(r io.Reader, echo io.Writer) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		if res, ok := parseLine(line); ok {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read: %w", err)
+	}
+	if len(results) == 0 {
+		return nil, errors.New("no benchmark result lines in input (did the benchmark run fail?)")
+	}
+	return results, nil
+}
+
 func main() {
 	out := flag.String("o", "", "write JSON results to this file (default stdout only)")
 	flag.Parse()
 
-	var results []Result
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line)
-		if r, ok := parseLine(line); ok {
-			results = append(results, r)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+	results, err := scan(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 

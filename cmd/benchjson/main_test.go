@@ -1,0 +1,44 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestScanParsesAndSkipsChatter(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"warning: GOPATH not set", // stray stderr-style chatter
+		"BenchmarkE4Latency-8   \t  1000\t  599 lat-ns/op\t  0 B/op\t 0 allocs/op",
+		"PASS",
+		"ok  \tqcdoc\t1.234s",
+	}, "\n")
+	var echo strings.Builder
+	results, err := scan(strings.NewReader(in), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %+v, want 1", results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkE4Latency-8" || r.Runs != 1000 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["lat-ns/op"] != 599 || r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	// Every input line is echoed, benchmark or not.
+	if got := strings.Count(echo.String(), "\n"); got != 5 {
+		t.Fatalf("echoed %d lines, want 5", got)
+	}
+}
+
+func TestScanEmptyInputFails(t *testing.T) {
+	for _, in := range []string{"", "PASS\nok \tqcdoc\t0.1s\n"} {
+		if _, err := scan(strings.NewReader(in), io.Discard); err == nil {
+			t.Fatalf("scan(%q) succeeded, want error on input with no benchmarks", in)
+		}
+	}
+}

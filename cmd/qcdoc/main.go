@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -125,6 +126,9 @@ func cmdSolve(args []string) {
 	maxIter := fs.Int("maxiter", 500, "iteration limit")
 	ls := fs.Int("ls", 8, "fifth dimension (dwf)")
 	seed := fs.Uint64("seed", 1, "configuration seed")
+	telemetryOut := fs.String("telemetry", "", "write a machine-wide telemetry snapshot (JSON) to this file after the run")
+	traceN := fs.Int("trace", 0, "attach a flight recorder holding the last N events (0 = off)")
+	chromeOut := fs.String("chrometrace", "", "write the flight-recorder tail as Chrome trace-event JSON to this file")
 	fs.Parse(args)
 
 	shape := geom.MakeShape(parseDims(*mshape)...)
@@ -132,6 +136,22 @@ func cmdSolve(args []string) {
 	sess, err := core.NewSession(shape, global)
 	fatal(err)
 	defer sess.Close()
+	if *telemetryOut != "" {
+		sess.M.EnableTelemetry()
+	}
+	var rec *event.Recorder
+	if *traceN > 0 || *chromeOut != "" {
+		rec = event.NewRecorder(*traceN)
+		sess.M.Eng.SetRecorder(rec)
+		// On a panic anywhere in the run, dump the last events: the
+		// flight recorder's reason for existing.
+		defer func() {
+			if r := recover(); r != nil {
+				rec.Dump(os.Stderr, 64)
+				panic(r)
+			}
+		}()
+	}
 	fmt.Printf("machine %v (%d nodes) folded to grid %v, local volume %v\n",
 		shape, sess.M.NumNodes(), sess.Lay.Dec.Grid, sess.Lay.Dec.Local)
 
@@ -167,6 +187,54 @@ func cmdSolve(args []string) {
 		fatal(err)
 	}
 	fmt.Println("end-of-run link checksum audit: passed")
+	if *telemetryOut != "" {
+		fatal(writeTelemetry(*telemetryOut, sess.M, rec))
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		fatal(err)
+		err = rec.WriteChromeTrace(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fatal(err)
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing)\n", *chromeOut)
+	}
+}
+
+// traceJSON is one flight-recorder record in the telemetry export.
+type traceJSON struct {
+	At    event.Time `json:"at"`
+	Seq   uint64     `json:"seq"`
+	Kind  string     `json:"kind"`
+	Actor string     `json:"actor"`
+	Arg   uint64     `json:"arg"`
+}
+
+// writeTelemetry exports the machine-wide snapshot — per-link error
+// counters, registry counters and gauges, packaging — plus the flight
+// recorder's tail when one is attached.
+func writeTelemetry(path string, m *machine.Machine, rec *event.Recorder) error {
+	out := struct {
+		machine.Telemetry
+		Trace []traceJSON `json:"trace,omitempty"`
+	}{Telemetry: m.Telemetry()}
+	if rec != nil {
+		for _, r := range rec.Tail(0) {
+			out.Trace = append(out.Trace, traceJSON{
+				At: r.At, Seq: r.Seq, Kind: r.Kind.String(), Actor: r.Actor(), Arg: r.Arg,
+			})
+		}
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("telemetry snapshot written to %s\n", path)
+	return nil
 }
 
 func cmdScaling(args []string) {

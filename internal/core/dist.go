@@ -271,6 +271,14 @@ func (s solverSpace) chargeAXPY() {
 	s.ctx.N.Compute(s.ctx.P, s.axpyCharge)
 }
 
+// noteIteration feeds the solver's per-iteration hook into the node's
+// telemetry counters (no-op with telemetry disabled).
+func (s solverSpace) noteIteration() {
+	if ctr := s.ctx.N.Counters(); ctr != nil {
+		ctr.SolverIterations++
+	}
+}
+
 func check(err error) {
 	if err != nil {
 		panic("core: " + err.Error())

@@ -152,5 +152,6 @@ func distSpinorSpace(ss solverSpace) solver.Space[*lattice.FermionField] {
 			ss.chargeAXPY()
 			x.Scale(a)
 		},
+		OnIteration: ss.noteIteration,
 	}
 }

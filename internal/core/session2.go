@@ -167,6 +167,7 @@ func distColorSpace(ss solverSpace) solver.Space[*lattice.ColorField] {
 			ss.chargeAXPY()
 			x.Scale(a)
 		},
+		OnIteration: ss.noteIteration,
 	}
 }
 
@@ -190,6 +191,7 @@ func distField5Space(ss solverSpace, ls int) solver.Space[*fermion.Field5] {
 			ss.chargeAXPY()
 			x.Scale(a)
 		},
+		OnIteration: ss.noteIteration,
 	}
 }
 

@@ -165,6 +165,7 @@ type Engine struct {
 
 	machines []*StateMachine // registered continuation-tier processes
 	tracer   func(at Time)   // observes every dispatched event, if set
+	rec      *Recorder       // flight recorder, if attached
 	executed uint64          // events dispatched since New
 }
 
@@ -256,6 +257,9 @@ func (e *Engine) Run(until Time) error {
 		if e.tracer != nil {
 			e.tracer(next.at)
 		}
+		if e.rec != nil {
+			e.rec.record(next.at, next.seq, next.fn, next.h, next.arg)
+		}
 		if next.fn != nil {
 			next.fn()
 		} else {
@@ -280,6 +284,15 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // two runs of the same seeded simulation must dispatch identical event
 // streams.
 func (e *Engine) SetTracer(fn func(at Time)) { e.tracer = fn }
+
+// SetRecorder attaches a flight recorder that captures every dispatched
+// event into its ring (nil detaches). Recording schedules no events and
+// allocates nothing per dispatch, so the simulated event stream is
+// identical with or without it; see trace.go.
+func (e *Engine) SetRecorder(r *Recorder) { e.rec = r }
+
+// Recorder returns the attached flight recorder, or nil.
+func (e *Engine) Recorder() *Recorder { return e.rec }
 
 // LiveProcs reports how many coroutine-tier processes have started and
 // not yet finished (continuation-tier processes hold no goroutines and

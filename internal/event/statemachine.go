@@ -1,5 +1,10 @@
 package event
 
+import (
+	"fmt"
+	"sort"
+)
+
 // This file is the second tier of the two-tier scheduler. The engine
 // offers two ways to write a simulation process:
 //
@@ -35,13 +40,14 @@ type StateMachine struct {
 	name  string
 	state string
 	gen   uint64
+	since Time // when the current state was entered
 }
 
 // NewStateMachine registers a continuation-tier process with the engine
 // (the registry feeds DumpStateMachines; there is nothing to "start" —
 // the machine runs whenever its callbacks do).
 func (e *Engine) NewStateMachine(name, state string) *StateMachine {
-	sm := &StateMachine{eng: e, name: name, state: state}
+	sm := &StateMachine{eng: e, name: name, state: state, since: e.now}
 	e.machines = append(e.machines, sm)
 	return sm
 }
@@ -60,7 +66,13 @@ func (sm *StateMachine) Engine() *Engine { return sm.eng }
 func (sm *StateMachine) Goto(state string) {
 	sm.state = state
 	sm.gen++
+	sm.since = sm.eng.now
 }
+
+// StateAge reports how long the machine has been in its current state
+// (now minus the last transition time) — the first thing to look at when
+// diagnosing a wedged service.
+func (sm *StateMachine) StateAge() Time { return sm.eng.now - sm.since }
 
 // Sleep arms a timer: fn runs d from now unless the machine transitions
 // (Goto) first. This is the continuation-tier replacement for a
@@ -75,14 +87,17 @@ func (sm *StateMachine) Sleep(d Time, fn func()) {
 	})
 }
 
-// DumpStateMachines returns "name: state" for every registered
-// continuation-tier process — the callback-tier counterpart of the
-// blocked-process list in ErrStall, for debugging quiesced or wedged
-// simulations.
+// DumpStateMachines returns "name: state (age)" for every registered
+// continuation-tier process, sorted by name — the callback-tier
+// counterpart of the blocked-process list in ErrStall, for debugging
+// quiesced or wedged simulations. The age is how long the machine has
+// sat in its current state; a link pump idle for a millisecond on a
+// machine that should be streaming is the wedge.
 func (e *Engine) DumpStateMachines() []string {
 	out := make([]string, len(e.machines))
 	for i, sm := range e.machines {
-		out[i] = sm.name + ": " + sm.state
+		out[i] = fmt.Sprintf("%s: %s (age %v)", sm.name, sm.state, sm.StateAge())
 	}
+	sort.Strings(out)
 	return out
 }

@@ -53,11 +53,27 @@ func TestStateMachineGotoCancelsSleep(t *testing.T) {
 
 func TestDumpStateMachines(t *testing.T) {
 	e := New()
-	e.NewStateMachine("a", "idle")
+	// Register out of name order: the dump must sort.
 	e.NewStateMachine("b", "run")
+	sm := e.NewStateMachine("a", "idle")
+	e.After(10*Nanosecond, func() { sm.Goto("tx") })
+	e.After(25*Nanosecond, func() {}) // advance the clock past the transition
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sm.StateAge(); got != 15*Nanosecond {
+		t.Fatalf("state age = %v, want 15ns", got)
+	}
 	dump := e.DumpStateMachines()
-	if len(dump) != 2 || dump[0] != "a: idle" || dump[1] != "b: run" {
+	if len(dump) != 2 {
 		t.Fatalf("dump = %v", dump)
+	}
+	// Sorted by name, each line carrying state and current state age.
+	if dump[0] != "a: tx (age 15ns)" {
+		t.Fatalf("dump[0] = %q", dump[0])
+	}
+	if dump[1] != "b: run (age 25ns)" {
+		t.Fatalf("dump[1] = %q", dump[1])
 	}
 }
 

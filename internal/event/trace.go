@@ -1,0 +1,156 @@
+package event
+
+// This file is the flight recorder: a fixed-size ring of trace records
+// captured in the engine's dispatch loop, for reconstructing "what was
+// the machine doing" after a hang, a panic, or a surprising result.
+//
+// Recording obeys the telemetry zero-perturbation contract (DESIGN.md
+// §10): the recorder schedules nothing and allocates nothing per event —
+// each dispatch overwrites one preallocated ring slot — so the simulated
+// event stream is bit-identical with the recorder attached or not. The
+// expensive parts (naming actors, JSON export) happen only at dump time.
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceKind classifies a dispatched event.
+type TraceKind uint8
+
+const (
+	// TraceFunc is a closure event (At/After and the coroutine tier's
+	// activation/wake events).
+	TraceFunc TraceKind = iota
+	// TraceHandler is a pre-bound Handler event (the continuation tier's
+	// hot paths: wires, link pumps, timers).
+	TraceHandler
+)
+
+func (k TraceKind) String() string {
+	if k == TraceHandler {
+		return "handler"
+	}
+	return "func"
+}
+
+// TraceRecord is one dispatched event: its time, stable sequence number,
+// kind, and — for handler events — the target and argument.
+type TraceRecord struct {
+	At   Time
+	Seq  uint64
+	Kind TraceKind
+	Arg  uint64
+	h    Handler
+}
+
+// Actor names the event target: the dynamic type of the handler, or
+// "func" for closure events (closures have no useful identity). The
+// type formatting runs only here, never on the record path.
+func (r TraceRecord) Actor() string {
+	if r.Kind == TraceHandler && r.h != nil {
+		return fmt.Sprintf("%T", r.h)
+	}
+	return "func"
+}
+
+func (r TraceRecord) String() string {
+	if r.Kind == TraceHandler {
+		return fmt.Sprintf("%v seq=%d %s arg=%d", r.At, r.Seq, r.Actor(), r.Arg)
+	}
+	return fmt.Sprintf("%v seq=%d func", r.At, r.Seq)
+}
+
+// DefaultRecorderSize is the ring capacity when none is given.
+const DefaultRecorderSize = 4096
+
+// Recorder is the flight-recorder ring. Attach it to an engine with
+// SetRecorder; it keeps the most recent Cap() dispatched events.
+type Recorder struct {
+	ring  []TraceRecord
+	total uint64 // events recorded since creation
+}
+
+// NewRecorder creates a recorder holding the last size events (size <= 0
+// selects DefaultRecorderSize).
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultRecorderSize
+	}
+	return &Recorder{ring: make([]TraceRecord, size)}
+}
+
+// record stores one dispatch into the ring. Called from Engine.Run with
+// the item by value so nothing escapes to the heap.
+func (r *Recorder) record(at Time, seq uint64, fn func(), h Handler, arg uint64) {
+	slot := &r.ring[r.total%uint64(len(r.ring))]
+	slot.At = at
+	slot.Seq = seq
+	slot.Arg = arg
+	if fn != nil {
+		slot.Kind = TraceFunc
+		slot.h = nil
+	} else {
+		slot.Kind = TraceHandler
+		slot.h = h
+	}
+	r.total++
+}
+
+// Total reports how many events have been recorded since creation
+// (including ones the ring has since overwritten).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Cap reports the ring capacity.
+func (r *Recorder) Cap() int { return len(r.ring) }
+
+// Tail returns up to n of the most recent records, oldest first. It
+// copies (a cold-path allocation); the ring keeps recording.
+func (r *Recorder) Tail(n int) []TraceRecord {
+	have := r.total
+	if have > uint64(len(r.ring)) {
+		have = uint64(len(r.ring))
+	}
+	if n > 0 && uint64(n) < have {
+		have = uint64(n)
+	}
+	out := make([]TraceRecord, have)
+	for i := uint64(0); i < have; i++ {
+		out[i] = r.ring[(r.total-have+i)%uint64(len(r.ring))]
+	}
+	return out
+}
+
+// Dump writes up to n of the most recent records to w, oldest first —
+// the on-demand (or deferred-on-panic) human-readable dump.
+func (r *Recorder) Dump(w io.Writer, n int) {
+	tail := r.Tail(n)
+	fmt.Fprintf(w, "flight recorder: %d of %d recorded events\n", len(tail), r.total)
+	for _, rec := range tail {
+		fmt.Fprintf(w, "  %s\n", rec)
+	}
+}
+
+// WriteChromeTrace exports up to n of the most recent records (0 = the
+// whole ring) as Chrome trace-event JSON ("instant" events, simulated
+// microseconds on the timeline) loadable in chrome://tracing or Perfetto.
+func (r *Recorder) WriteChromeTrace(w io.Writer, n int) error {
+	tail := r.Tail(n)
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, rec := range tail {
+		sep := ","
+		if i == len(tail)-1 {
+			sep = ""
+		}
+		_, err := fmt.Fprintf(w,
+			"{\"name\":%q,\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":%.6f,\"args\":{\"seq\":%d,\"kind\":%q,\"arg\":%d}}%s\n",
+			rec.Actor(), float64(rec.At)/1e6, rec.Seq, rec.Kind.String(), rec.Arg, sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -15,6 +15,7 @@ import (
 	"qcdoc/internal/hssl"
 	"qcdoc/internal/node"
 	"qcdoc/internal/scu"
+	"qcdoc/internal/telemetry"
 )
 
 // Config describes a machine build.
@@ -49,6 +50,11 @@ type Machine struct {
 	Eng   *event.Engine
 	Cfg   Config
 	Nodes []*node.Node
+
+	// Reg is the telemetry registry every component's counters are
+	// registered on at Build time; disabled until EnableTelemetry (see
+	// telemetry.go).
+	Reg *telemetry.Registry
 
 	// wires[rank][linkIndex] is the outbound wire of that node's link.
 	wires [][]*hssl.Wire
@@ -112,6 +118,7 @@ func Build(eng *event.Engine, cfg Config) *Machine {
 	for _, n := range m.Nodes {
 		n.SCU.WindowArm = m.armClock
 	}
+	m.registerTelemetry()
 	return m
 }
 
@@ -251,28 +258,13 @@ func (m *Machine) VerifyChecksums() (int, error) {
 	return checked, nil
 }
 
-// Stats sums SCU counters over all nodes.
+// Stats sums SCU counters over all nodes, via the counter table that is
+// the single definition of the field set (scu.statsFields).
 func (m *Machine) Stats() scu.Stats {
 	var total scu.Stats
 	for _, n := range m.Nodes {
 		s := n.SCU.Stats()
-		total = addStats(total, s)
+		total.Add(&s)
 	}
 	return total
-}
-
-func addStats(a, b scu.Stats) scu.Stats {
-	a.WordsSent += b.WordsSent
-	a.WordsReceived += b.WordsReceived
-	a.AcksSent += b.AcksSent
-	a.NaksSent += b.NaksSent
-	a.Resends += b.Resends
-	a.ParityErrors += b.ParityErrors
-	a.HeaderErrors += b.HeaderErrors
-	a.Duplicates += b.Duplicates
-	a.SupsSent += b.SupsSent
-	a.SupsReceived += b.SupsReceived
-	a.PartIRQsSent += b.PartIRQsSent
-	a.PartIRQsRecvd += b.PartIRQsRecvd
-	return a
 }

@@ -1,0 +1,186 @@
+package machine
+
+import (
+	"fmt"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/hssl"
+	"qcdoc/internal/scu"
+	"qcdoc/internal/telemetry"
+)
+
+// This file wires the machine into the telemetry layer (DESIGN.md §10):
+// every node's SCU, CPU and memory counters register on one Registry at
+// Build time, the packaging-level derived gauges on top, and
+// Machine.Telemetry() assembles the machine-wide snapshot the host
+// exports. Registration stores only reader closures — nothing here runs
+// until a snapshot is requested, and a snapshot schedules no events, so
+// the simulated machine is bit-identical with telemetry on or off.
+
+// registerTelemetry populates the machine's registry. Called once from
+// Build, before anything runs.
+func (m *Machine) registerTelemetry() {
+	m.Reg = telemetry.New()
+	for r, n := range m.Nodes {
+		n := n
+		m.Reg.RegisterCounters(fmt.Sprintf("node%d/scu", r), func(emit telemetry.EmitFunc) {
+			s := n.SCU.Stats()
+			s.Each(emit)
+		})
+		m.Reg.RegisterCounters(fmt.Sprintf("node%d/link", r), func(emit telemetry.EmitFunc) {
+			for _, l := range geom.AllLinks() {
+				s := n.SCU.LinkStats(l)
+				pre := l.String() + "/"
+				s.Each(func(name string, v uint64) { emit(pre+name, v) })
+			}
+		})
+		m.Reg.RegisterCounters(fmt.Sprintf("node%d/cpu", r), func(emit telemetry.EmitFunc) {
+			if c := n.Counters(); c != nil {
+				c.Each(emit)
+			}
+		})
+	}
+	m.Reg.RegisterCounters("machine/scu", func(emit telemetry.EmitFunc) {
+		s := m.Stats()
+		s.Each(emit)
+	})
+	m.Reg.RegisterCounters("machine/hssl", func(emit telemetry.EmitFunc) {
+		w := m.WireStats()
+		emit("frames", w.Frames)
+		emit("bits", w.Bits)
+		emit("corrupted", w.Corrupted)
+	})
+	pkg := PackagingFor(len(m.Nodes), m.Cfg.Clock)
+	m.Reg.RegisterGauge("machine/link_utilization", m.LinkUtilization)
+	m.Reg.RegisterGauge("machine/sustained_gflops", func() float64 { return m.SustainedFlops() / 1e9 })
+	m.Reg.RegisterGauge("machine/peak_gflops", func() float64 { return pkg.PeakTeraflops * 1e3 })
+	m.Reg.RegisterGauge("machine/efficiency", func() float64 {
+		if peak := pkg.PeakTeraflops * 1e12; peak > 0 {
+			return m.SustainedFlops() / peak
+		}
+		return 0
+	})
+	m.Reg.RegisterGauge("machine/power_watts", func() float64 { return pkg.PowerWatts })
+}
+
+// EnableTelemetry switches the whole layer on: the registry starts
+// collecting and every node starts counting. Idempotent.
+func (m *Machine) EnableTelemetry() {
+	m.Reg.SetEnabled(true)
+	for _, n := range m.Nodes {
+		n.EnableCounters()
+	}
+}
+
+// TelemetryEnabled reports whether EnableTelemetry has run.
+func (m *Machine) TelemetryEnabled() bool { return m.Reg.Enabled() }
+
+// WireStats sums HSSL wire counters over every wire in the torus.
+func (m *Machine) WireStats() hssl.Stats {
+	var total hssl.Stats
+	for _, ws := range m.wires {
+		for _, w := range ws {
+			s := w.Stats()
+			total.Frames += s.Frames
+			total.Bits += s.Bits
+			total.Corrupted += s.Corrupted
+		}
+	}
+	return total
+}
+
+// WiresTrained counts trained wires (all of them, after boot).
+func (m *Machine) WiresTrained() int {
+	n := 0
+	for _, ws := range m.wires {
+		for _, w := range ws {
+			if w.Trained() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// LinkUtilization is the fraction of the torus's aggregate serial
+// capacity used so far: bits moved over (wires x link clock x elapsed
+// time). Zero before anything has run.
+func (m *Machine) LinkUtilization() float64 {
+	now := m.Eng.Now()
+	if now == 0 {
+		return 0
+	}
+	bits := float64(m.WireStats().Bits)
+	capacity := float64(len(m.Nodes)*geom.NumLinks) * float64(m.Cfg.Clock) * (float64(now) / float64(event.Second))
+	if capacity == 0 {
+		return 0
+	}
+	return bits / capacity
+}
+
+// SustainedFlops is the machine-wide achieved floating-point rate:
+// useful flops retired (per the node counters) over elapsed simulated
+// time. Zero when telemetry is disabled or nothing has run.
+func (m *Machine) SustainedFlops() float64 {
+	now := m.Eng.Now()
+	if now == 0 {
+		return 0
+	}
+	flops := 0.0
+	for _, n := range m.Nodes {
+		if c := n.Counters(); c != nil {
+			flops += c.Flops
+		}
+	}
+	return flops / (float64(now) / float64(event.Second))
+}
+
+// LinkTelemetry is one link's counters in a machine snapshot.
+type LinkTelemetry struct {
+	Rank  int       `json:"rank"`
+	Link  string    `json:"link"`
+	Stats scu.Stats `json:"stats"`
+}
+
+// Telemetry is the machine-wide observation the host exports: identity,
+// aggregate SCU and wire counters, every link's counters (the per-link
+// error counters are the §2.2 reliability audit trail), and the
+// registry's full counter/gauge snapshot.
+type Telemetry struct {
+	At           event.Time         `json:"at"`
+	Shape        string             `json:"shape"`
+	Nodes        int                `json:"nodes"`
+	Events       uint64             `json:"events"`
+	WiresTrained int                `json:"wires_trained"`
+	Aggregate    scu.Stats          `json:"aggregate"`
+	Wires        hssl.Stats         `json:"wires"`
+	Links        []LinkTelemetry    `json:"links,omitempty"`
+	Counters     map[string]uint64  `json:"counters,omitempty"`
+	Gauges       map[string]float64 `json:"gauges,omitempty"`
+	Packaging    Packaging          `json:"packaging"`
+}
+
+// Telemetry assembles the machine-wide snapshot. Purely a read — no
+// events, no state changes; callable at any point of a run.
+func (m *Machine) Telemetry() Telemetry {
+	snap := m.Reg.Snapshot()
+	t := Telemetry{
+		At:           m.Eng.Now(),
+		Shape:        m.Cfg.Shape.String(),
+		Nodes:        len(m.Nodes),
+		Events:       m.Eng.Executed(),
+		WiresTrained: m.WiresTrained(),
+		Aggregate:    m.Stats(),
+		Wires:        m.WireStats(),
+		Counters:     snap.Counters,
+		Gauges:       snap.Gauges,
+		Packaging:    PackagingFor(len(m.Nodes), m.Cfg.Clock),
+	}
+	for r, n := range m.Nodes {
+		for _, l := range geom.AllLinks() {
+			t.Links = append(t.Links, LinkTelemetry{Rank: r, Link: l.String(), Stats: n.SCU.LinkStats(l)})
+		}
+	}
+	return t
+}

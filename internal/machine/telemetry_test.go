@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"testing"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/node"
+	"qcdoc/internal/ppc440"
+	"qcdoc/internal/qmp"
+)
+
+// TestTelemetryZeroPerturbation is the load-bearing contract of the
+// observability layer: enabling every counter and attaching a flight
+// recorder must leave the simulated event stream bit-identical — same
+// event count, same time-ordered digest, same link checksums, same
+// final time — as a run with telemetry off.
+func TestTelemetryZeroPerturbation(t *testing.T) {
+	shape := geom.MakeShape(4, 2, 2)
+	e1, l1, n1, t1 := traceRun(t, shape, nil)
+	e2, l2, n2, t2 := traceRun(t, shape, func(m *Machine) {
+		m.EnableTelemetry()
+		m.Eng.SetRecorder(event.NewRecorder(256))
+	})
+	if n1 != n2 {
+		t.Fatalf("telemetry changed the event count: %d vs %d", n1, n2)
+	}
+	if e1 != e2 {
+		t.Fatalf("telemetry changed the event order: %#x vs %#x", e1, e2)
+	}
+	if l1 != l2 {
+		t.Fatalf("telemetry changed link checksums: %#x vs %#x", l1, l2)
+	}
+	if t1 != t2 {
+		t.Fatalf("telemetry changed the final time: %v vs %v", t1, t2)
+	}
+}
+
+func TestMachineTelemetrySnapshot(t *testing.T) {
+	shape := geom.MakeShape(2, 2)
+	eng := event.New()
+	defer eng.Shutdown()
+	m := Build(eng, DefaultConfig(shape))
+	m.EnableTelemetry()
+	if !m.TelemetryEnabled() {
+		t.Fatal("EnableTelemetry did not enable")
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	fold := geom.IdentityFold(shape)
+	kern := ppc440.KernelCost{Name: "wilson", Flops: 4000, FPUOps: 2000, LoadBytes: 256, Streams: 1}
+	err := m.RunSPMD("telem", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			ctx.N.Compute(ctx.P, kern)
+			c := qmp.New(ctx, fold)
+			c.GlobalSumFloat64(ctx.P, float64(rank))
+			c.Barrier(ctx.P)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tel := m.Telemetry()
+	if tel.Nodes != 4 || tel.Shape != shape.String() {
+		t.Fatalf("identity: %d nodes shape %q", tel.Nodes, tel.Shape)
+	}
+	if tel.At != eng.Now() || tel.Events != eng.Executed() || tel.Events == 0 {
+		t.Fatalf("clock: at %v events %d", tel.At, tel.Events)
+	}
+	if tel.WiresTrained != 4*geom.NumLinks {
+		t.Fatalf("wires trained %d", tel.WiresTrained)
+	}
+	if tel.Aggregate != m.Stats() || tel.Aggregate.WordsSent == 0 {
+		t.Fatalf("aggregate %+v", tel.Aggregate)
+	}
+	if tel.Wires.Frames == 0 || tel.Wires.Bits == 0 {
+		t.Fatalf("wire stats %+v", tel.Wires)
+	}
+	if len(tel.Links) != 4*geom.NumLinks {
+		t.Fatalf("%d link entries", len(tel.Links))
+	}
+	// The link list agrees with the per-link SCU counters, and summing
+	// it reproduces the aggregate — one source of truth.
+	var sum uint64
+	for i, lt := range tel.Links {
+		sum += lt.Stats.WordsSent
+		l := geom.AllLinks()[i%geom.NumLinks]
+		if lt.Link != l.String() || lt.Stats != m.Nodes[lt.Rank].SCU.LinkStats(l) {
+			t.Fatalf("link entry %d (%s) disagrees with SCU", i, lt.Link)
+		}
+	}
+	if sum != tel.Aggregate.WordsSent {
+		t.Fatalf("links sum to %d, aggregate %d", sum, tel.Aggregate.WordsSent)
+	}
+	// Registry counters carry per-node and machine-wide keys.
+	if tel.Counters["machine/scu/words_sent"] != tel.Aggregate.WordsSent {
+		t.Fatalf("machine counter %d", tel.Counters["machine/scu/words_sent"])
+	}
+	n0 := m.Nodes[0].SCU.Stats()
+	if tel.Counters["node0/scu/words_sent"] != n0.WordsSent {
+		t.Fatalf("node0 counter %d vs %d", tel.Counters["node0/scu/words_sent"], n0.WordsSent)
+	}
+	if tel.Counters["node0/cpu/kernels"] != 1 {
+		t.Fatalf("node0 kernels = %d", tel.Counters["node0/cpu/kernels"])
+	}
+	// Barrier rides a global sum, so both tick.
+	if tel.Counters["node0/cpu/global_sums"] != 2 || tel.Counters["node0/cpu/barriers"] != 1 {
+		t.Fatalf("collectives: sums %d barriers %d",
+			tel.Counters["node0/cpu/global_sums"], tel.Counters["node0/cpu/barriers"])
+	}
+	// Derived gauges: the machine computed 4 x 4000 flops in tel.At.
+	if g := tel.Gauges["machine/sustained_gflops"]; g <= 0 {
+		t.Fatalf("sustained gflops %g", g)
+	}
+	wantFlops := 4 * 4000.0 / (float64(tel.At) / float64(event.Second))
+	if g := tel.Gauges["machine/sustained_gflops"] * 1e9; g < wantFlops*0.999 || g > wantFlops*1.001 {
+		t.Fatalf("sustained %g, want %g", g, wantFlops)
+	}
+	if u := tel.Gauges["machine/link_utilization"]; u <= 0 || u > 1 {
+		t.Fatalf("link utilization %g", u)
+	}
+	if tel.Gauges["machine/peak_gflops"] != tel.Packaging.PeakTeraflops*1e3 {
+		t.Fatal("peak gauge disagrees with packaging")
+	}
+	eff := tel.Gauges["machine/efficiency"]
+	if want := tel.Gauges["machine/sustained_gflops"] / tel.Gauges["machine/peak_gflops"]; eff < want*0.999 || eff > want*1.001 {
+		t.Fatalf("efficiency %g, want %g", eff, want)
+	}
+}
+
+// TestTelemetryDisabledSnapshotIsEmpty pins the pull-based design: a
+// machine that never enabled telemetry still answers Telemetry() — the
+// always-on SCU/wire counters are there — but the registry contributes
+// nothing and the per-node CPU counters stay nil.
+func TestTelemetryDisabledSnapshotIsEmpty(t *testing.T) {
+	eng := event.New()
+	defer eng.Shutdown()
+	m := Build(eng, DefaultConfig(geom.MakeShape(2)))
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	tel := m.Telemetry()
+	if len(tel.Counters) != 0 || len(tel.Gauges) != 0 {
+		t.Fatalf("disabled registry leaked: %d counters %d gauges", len(tel.Counters), len(tel.Gauges))
+	}
+	if len(tel.Links) != 2*geom.NumLinks {
+		t.Fatalf("%d link entries", len(tel.Links))
+	}
+	for _, n := range m.Nodes {
+		if n.Counters() != nil {
+			t.Fatal("node counters enabled without EnableTelemetry")
+		}
+	}
+}

@@ -240,3 +240,53 @@ func (m Model) StreamThen(eng *event.Engine, l Level, bytes, nStreams int, done 
 // EDRAM-resident (§4: "for most of the fermion formulations, a 6^4 local
 // volume still fits in our 4 Megabytes of embedded memory").
 func FitsEDRAM(bytes int) bool { return bytes <= EDRAMBytes }
+
+// Counters is the memory-system traffic account a node keeps when
+// telemetry is enabled: bytes moved per level, plus the prefetcher's view
+// of each access — streams the two-stream controller covered versus row
+// activations that paid the page-miss penalty. Plain fields, no events:
+// Note is called from the (single-threaded) simulation at the moment the
+// timing model is consulted, and the registry reads the fields only at
+// snapshot time.
+type Counters struct {
+	EDRAMBytes   uint64
+	DDRBytes     uint64
+	PrefetchHits uint64
+	PageMisses   uint64
+}
+
+// Note accounts one modelled access, mirroring Model.StreamCycles'
+// classification: at or under PrefetchStreams the access rode the
+// prefetcher (one hit per access); beyond it every row activation was a
+// page miss. nStreams of 0 (irregular/gather access, charged through the
+// kernel-bandwidth path) counts bytes only.
+func (c *Counters) Note(l Level, bytes, nStreams int) {
+	if l == EDRAM {
+		c.EDRAMBytes += uint64(bytes)
+	} else {
+		c.DDRBytes += uint64(bytes)
+	}
+	switch {
+	case nStreams == 0:
+	case nStreams <= PrefetchStreams:
+		c.PrefetchHits++
+	default:
+		c.PageMisses += uint64(bytes) / EDRAMRowBytes
+	}
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.EDRAMBytes += o.EDRAMBytes
+	c.DDRBytes += o.DDRBytes
+	c.PrefetchHits += o.PrefetchHits
+	c.PageMisses += o.PageMisses
+}
+
+// Each calls emit for every counter, in a stable order.
+func (c *Counters) Each(emit func(name string, v uint64)) {
+	emit("edram_bytes", c.EDRAMBytes)
+	emit("ddr_bytes", c.DDRBytes)
+	emit("prefetch_hits", c.PrefetchHits)
+	emit("page_misses", c.PageMisses)
+}

@@ -82,6 +82,11 @@ type Node struct {
 	// brk is the bump-allocator frontier for node program data.
 	brk uint64
 
+	// ctr is the telemetry counter block; nil until EnableCounters, and
+	// every hot-path hook tests for nil so disabled telemetry costs one
+	// pointer compare (see telemetry.go).
+	ctr *Counters
+
 	// Sys is the system-services slot: the run kernel installs itself
 	// here so applications can reach their system-call surface.
 	Sys any
@@ -216,6 +221,7 @@ func (n *Node) ReadF64(addr uint64) float64 {
 
 // Compute charges the node's CPU with a kernel execution.
 func (n *Node) Compute(p *event.Proc, k ppc440.KernelCost) {
+	n.noteKernel(k)
 	n.CPU.Execute(p, k, n.MemModel)
 }
 
@@ -223,5 +229,6 @@ func (n *Node) Compute(p *event.Proc, k ppc440.KernelCost) {
 // runs when the kernel retires. Same timing as Compute, no process
 // needed — for node services written as flat state machines.
 func (n *Node) ComputeThen(k ppc440.KernelCost, done func()) {
+	n.noteKernel(k)
 	n.CPU.ExecuteThen(n.Eng, k, n.MemModel, done)
 }

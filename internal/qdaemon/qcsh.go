@@ -7,7 +7,9 @@ import (
 	"strings"
 
 	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
 	"qcdoc/internal/machine"
+	"qcdoc/internal/scu"
 )
 
 // Qcsh is the command-line interface to QCDOC (§3.1): "a modified UNIX
@@ -27,7 +29,7 @@ func (q *Qcsh) Exec(p *event.Proc, line string) (string, error) {
 	d := q.D
 	switch fields[0] {
 	case "help":
-		return "commands: boot | status <rank> | run <job> <program> | remap <dims> | output <job> | ls | cat <file> | packaging | power", nil
+		return "commands: boot | status <rank> | run <job> <program> | remap <dims> | output <job> | ls | cat <file> | packaging | power | hwstat [rank] | counters <rank> [link] | trace [n] | trace on [size] | trace off", nil
 	case "boot":
 		if err := d.BootAll(p); err != nil {
 			return "", err
@@ -87,7 +89,109 @@ func (q *Qcsh) Exec(p *event.Proc, line string) (string, error) {
 	case "packaging", "power":
 		pk := machine.PackagingFor(d.M.NumNodes(), d.M.Cfg.Clock)
 		return pk.String(), nil
+	case "hwstat":
+		// One node, or a machine-wide sweep — every line is fetched from
+		// the node over the Ethernet/JTAG side network, not read from
+		// simulator state.
+		ranks := make([]int, 0, d.M.NumNodes())
+		if len(fields) >= 2 {
+			rank, err := strconv.Atoi(fields[1])
+			if err != nil || rank < 0 || rank >= d.M.NumNodes() {
+				return "", fmt.Errorf("qcsh: bad rank %q", fields[1])
+			}
+			ranks = append(ranks, rank)
+		} else {
+			for r := 0; r < d.M.NumNodes(); r++ {
+				ranks = append(ranks, r)
+			}
+		}
+		var b strings.Builder
+		for _, r := range ranks {
+			st, s, err := d.HWStat(p, r)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "node%d %v: sent %d recv %d acks %d naks %d resends %d parity %d header %d dup %d\n",
+				r, st, s.WordsSent, s.WordsReceived, s.AcksSent, s.NaksSent, s.Resends, s.ParityErrors, s.HeaderErrors, s.Duplicates)
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	case "counters":
+		if len(fields) < 2 {
+			return "", fmt.Errorf("qcsh: counters <rank> [link]")
+		}
+		rank, err := strconv.Atoi(fields[1])
+		if err != nil || rank < 0 || rank >= d.M.NumNodes() {
+			return "", fmt.Errorf("qcsh: bad rank %q", fields[1])
+		}
+		var s scu.Stats
+		label := "aggregate"
+		if len(fields) >= 3 {
+			l, err := parseLink(fields[2])
+			if err != nil {
+				return "", err
+			}
+			if s, err = d.LinkCounters(p, rank, l); err != nil {
+				return "", err
+			}
+			label = "link " + l.String()
+		} else {
+			if _, s, err = d.HWStat(p, rank); err != nil {
+				return "", err
+			}
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "node%d %s:\n", rank, label)
+		s.Each(func(name string, v uint64) { fmt.Fprintf(&b, "  %s %d\n", name, v) })
+		return strings.TrimRight(b.String(), "\n"), nil
+	case "trace":
+		// The flight recorder is a host-side diagnostic on the simulation
+		// engine itself (the analogue of a logic analyzer on the global
+		// clock tree); it records nothing until switched on.
+		if len(fields) >= 2 && fields[1] == "on" {
+			size := event.DefaultRecorderSize
+			if len(fields) >= 3 {
+				n, err := strconv.Atoi(fields[2])
+				if err != nil || n <= 0 {
+					return "", fmt.Errorf("qcsh: bad trace size %q", fields[2])
+				}
+				size = n
+			}
+			d.Eng.SetRecorder(event.NewRecorder(size))
+			return fmt.Sprintf("flight recorder on (%d records)", size), nil
+		}
+		if len(fields) >= 2 && fields[1] == "off" {
+			d.Eng.SetRecorder(nil)
+			return "flight recorder off", nil
+		}
+		rec := d.Eng.Recorder()
+		if rec == nil {
+			return "", fmt.Errorf("qcsh: flight recorder is off (trace on [size])")
+		}
+		n := 16
+		if len(fields) >= 2 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				return "", fmt.Errorf("qcsh: bad trace count %q", fields[1])
+			}
+			n = v
+		}
+		var b strings.Builder
+		rec.Dump(&b, n)
+		return strings.TrimRight(b.String(), "\n"), nil
 	default:
 		return "", fmt.Errorf("qcsh: unknown command %q (try help)", fields[0])
 	}
+}
+
+// parseLink parses a link spec like "+0" or "-3" (geom.Link.String
+// notation).
+func parseLink(s string) (geom.Link, error) {
+	if len(s) != 2 || (s[0] != '+' && s[0] != '-') || s[1] < '0' || s[1] > byte('0'+geom.MaxDim-1) {
+		return geom.Link{}, fmt.Errorf("qcsh: bad link %q (want +0..-%d)", s, geom.MaxDim-1)
+	}
+	dir := geom.Fwd
+	if s[0] == '-' {
+		dir = geom.Bwd
+	}
+	return geom.Link{Dim: int(s[1] - '0'), Dir: dir}, nil
 }

@@ -27,7 +27,17 @@ const BootKernelPackets = 100
 // nodeTarget adapts a node to the JTAG controller's chip surface.
 type nodeTarget struct{ n *node.Node }
 
-func (t nodeTarget) ReadWord(a uint64) uint64        { return t.n.Mem.ReadWord(a) }
+// ReadWord serves a JTAG peek. Addresses at the top of the 64-bit space
+// fall in the node's telemetry window (node.TelemetryBase) — the
+// RISCWatch-style path the host uses to fetch hardware counters from a
+// running node without involving the compute fabric; everything below is
+// plain memory.
+func (t nodeTarget) ReadWord(a uint64) uint64 {
+	if node.IsTelemetryAddr(a) {
+		return t.n.ReadTelemetryWord(a)
+	}
+	return t.n.Mem.ReadWord(a)
+}
 func (t nodeTarget) WriteWord(a uint64, w uint64)    { t.n.Mem.WriteWord(a, w) }
 func (t nodeTarget) LoadBootWord(a uint64, w uint64) { t.n.LoadBootWord(a, w) }
 func (t nodeTarget) StartBootKernel() error          { return t.n.StartBootKernel() }

@@ -1,0 +1,99 @@
+package qdaemon
+
+import (
+	"fmt"
+
+	"qcdoc/internal/ethjtag"
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/node"
+	"qcdoc/internal/scu"
+)
+
+// Host-side hardware monitoring (§2.3): the daemon fetches node
+// telemetry by peeking the telemetry window over the Ethernet/JTAG side
+// network — OpReadWord packets to the node's JTAG connection, exactly
+// the RISCWatch debugging path, requiring no software on the node. Each
+// word fetched is one real request/reply exchange on the simulated
+// management network; the peek itself has no side effect on the node.
+
+// PeekWord reads one 64-bit word from a node over Ethernet/JTAG.
+func (d *Daemon) PeekWord(p *event.Proc, rank int, addr uint64) (uint64, error) {
+	if rank < 0 || rank >= len(d.M.Nodes) {
+		return 0, fmt.Errorf("qdaemon: peek on bad rank %d", rank)
+	}
+	err := d.Ctl.Send(ethjtag.Packet{
+		Dst: ethjtag.NodeJTAGAddr(rank), Port: ethjtag.PortJTAG,
+		Payload: ethjtag.EncodeJTAG(ethjtag.OpReadWord, addr, 0),
+	})
+	if err != nil {
+		return 0, err
+	}
+	rep := d.Ctl.Recv(p)
+	op, raddr, data, err := ethjtag.DecodeJTAG(rep.Payload)
+	if err != nil {
+		return 0, err
+	}
+	if op != ethjtag.OpReadWord || raddr != addr {
+		return 0, fmt.Errorf("qdaemon: peek reply mismatch (op %d addr %#x, want %#x)", op, raddr, addr)
+	}
+	return data, nil
+}
+
+// peekTelemetry fetches one telemetry-window word.
+func (d *Daemon) peekTelemetry(p *event.Proc, rank, word int) (uint64, error) {
+	return d.PeekWord(p, rank, node.TelemetryAddr(word))
+}
+
+// peekStats assembles a Stats from consecutive telemetry words starting
+// at base, using the same field table that defined them on the node.
+func (d *Daemon) peekStats(p *event.Proc, rank, base int) (scu.Stats, error) {
+	var s scu.Stats
+	for i := 0; i < scu.NumStats(); i++ {
+		v, err := d.peekTelemetry(p, rank, base+i)
+		if err != nil {
+			return s, err
+		}
+		s.SetValue(i, v)
+	}
+	return s, nil
+}
+
+// verifyTelemetryWindow peeks the magic word so a caller gets a clear
+// error instead of zeros when pointed at something that is not a
+// telemetry window.
+func (d *Daemon) verifyTelemetryWindow(p *event.Proc, rank int) error {
+	magic, err := d.peekTelemetry(p, rank, node.TelemMagicWord)
+	if err != nil {
+		return err
+	}
+	if magic != node.TelemetryMagic {
+		return fmt.Errorf("qdaemon: node %d telemetry magic %#x, want %#x", rank, magic, node.TelemetryMagic)
+	}
+	return nil
+}
+
+// HWStat fetches one node's lifecycle state and aggregate SCU counters
+// over the side network.
+func (d *Daemon) HWStat(p *event.Proc, rank int) (node.State, scu.Stats, error) {
+	var s scu.Stats
+	if err := d.verifyTelemetryWindow(p, rank); err != nil {
+		return 0, s, err
+	}
+	st, err := d.peekTelemetry(p, rank, node.TelemStateWord)
+	if err != nil {
+		return 0, s, err
+	}
+	s, err = d.peekStats(p, rank, node.TelemAggWord)
+	return node.State(st), s, err
+}
+
+// LinkCounters fetches one link's SCU counters over the side network.
+func (d *Daemon) LinkCounters(p *event.Proc, rank int, l geom.Link) (scu.Stats, error) {
+	var s scu.Stats
+	if err := d.verifyTelemetryWindow(p, rank); err != nil {
+		return s, err
+	}
+	base := node.TelemLinkWord + geom.LinkIndex(l)*node.TelemLinkStride
+	return d.peekStats(p, rank, base)
+}

@@ -89,6 +89,7 @@ func (c *Comm) SendSupervisor(axis int, dir geom.Dir, w uint64) error {
 // contributes x and receives the identical machine-wide total,
 // accumulated in canonical coordinate order (bit-reproducible).
 func (c *Comm) GlobalSumFloat64(p *event.Proc, x float64) float64 {
+	c.noteGlobalSum()
 	shape := c.fold.Logical()
 	for axis := 0; axis < geom.MaxDim; axis++ {
 		if shape[axis] > 1 {
@@ -102,6 +103,7 @@ func (c *Comm) GlobalSumFloat64(p *event.Proc, x float64) float64 {
 // directions run concurrently on the SCU's two disjoint global streams,
 // halving the hop count (Nx/2 + Ny/2 + ... instead of Nx + Ny + ... - 4).
 func (c *Comm) GlobalSumFloat64Doubled(p *event.Proc, x float64) float64 {
+	c.noteGlobalSum()
 	shape := c.fold.Logical()
 	for axis := 0; axis < geom.MaxDim; axis++ {
 		if shape[axis] > 1 {
@@ -113,6 +115,7 @@ func (c *Comm) GlobalSumFloat64Doubled(p *event.Proc, x float64) float64 {
 
 // GlobalSumUint64 sums unsigned words (useful for counters and votes).
 func (c *Comm) GlobalSumUint64(p *event.Proc, x uint64) uint64 {
+	c.noteGlobalSum()
 	// Ride the float path bit-exactly only for small integers; do it
 	// directly instead: same rings, integer accumulate.
 	shape := c.fold.Logical()
@@ -212,6 +215,9 @@ func (c *Comm) axisGather(p *event.Proc, axis int, word uint64, doubled bool) []
 // chosen to rapidly span the entire machine", §2.2). Every node passes
 // the same root coordinate; the return value is the broadcast word.
 func (c *Comm) Broadcast(p *event.Proc, root geom.Coord, word uint64) uint64 {
+	if ctr := c.n.Counters(); ctr != nil {
+		ctr.Broadcasts++
+	}
 	shape := c.fold.Logical()
 	for axis := 0; axis < geom.MaxDim; axis++ {
 		n := shape[axis]
@@ -262,9 +268,20 @@ func (c *Comm) Broadcast(p *event.Proc, root geom.Coord, word uint64) uint64 {
 // Barrier blocks until every node in the logical machine has entered it
 // (a global sum of ones).
 func (c *Comm) Barrier(p *event.Proc) {
+	if ctr := c.n.Counters(); ctr != nil {
+		ctr.Barriers++
+	}
 	total := c.GlobalSumUint64(p, 1)
 	if total != uint64(c.fold.Logical().Volume()) {
 		panic(fmt.Sprintf("qmp: barrier counted %d of %d nodes", total, c.fold.Logical().Volume()))
+	}
+}
+
+// noteGlobalSum ticks the node's global-sum counter when telemetry is
+// on; a barrier's internal sum counts too — it is one on the wire.
+func (c *Comm) noteGlobalSum() {
+	if ctr := c.n.Counters(); ctr != nil {
+		ctr.GlobalSums++
 	}
 }
 

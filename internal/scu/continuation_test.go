@@ -1,6 +1,7 @@
 package scu
 
 import (
+	"strings"
 	"testing"
 
 	"qcdoc/internal/event"
@@ -107,7 +108,7 @@ func TestStateMachineDump(t *testing.T) {
 	pr.run(t)
 	found := 0
 	for _, line := range pr.eng.DumpStateMachines() {
-		if line == "A scu+0 tx: idle" || line == "B scu-0 tx: idle" {
+		if strings.HasPrefix(line, "A scu+0 tx: idle") || strings.HasPrefix(line, "B scu-0 tx: idle") {
 			found++
 		}
 	}

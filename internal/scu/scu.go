@@ -120,20 +120,63 @@ type Stats struct {
 	PartIRQsRecvd uint64
 }
 
-func (s *Stats) add(o Stats) {
-	s.WordsSent += o.WordsSent
-	s.WordsReceived += o.WordsReceived
-	s.AcksSent += o.AcksSent
-	s.NaksSent += o.NaksSent
-	s.Resends += o.Resends
-	s.ParityErrors += o.ParityErrors
-	s.HeaderErrors += o.HeaderErrors
-	s.Duplicates += o.Duplicates
-	s.SupsSent += o.SupsSent
-	s.SupsReceived += o.SupsReceived
-	s.PartIRQsSent += o.PartIRQsSent
-	s.PartIRQsRecvd += o.PartIRQsRecvd
+// statsFields is the single definition of the protocol counter set:
+// telemetry name plus field accessor, in a stable order. Stats.Add,
+// Stats.Each, the indexed Value/SetValue accessors and the node's
+// telemetry peek window all walk this table, so adding a counter here is
+// the whole job — aggregation, registry export and the host-side fetch
+// path pick it up at once.
+var statsFields = []struct {
+	name string
+	get  func(*Stats) *uint64
+}{
+	{"words_sent", func(s *Stats) *uint64 { return &s.WordsSent }},
+	{"words_received", func(s *Stats) *uint64 { return &s.WordsReceived }},
+	{"acks_sent", func(s *Stats) *uint64 { return &s.AcksSent }},
+	{"naks_sent", func(s *Stats) *uint64 { return &s.NaksSent }},
+	{"resends", func(s *Stats) *uint64 { return &s.Resends }},
+	{"parity_errors", func(s *Stats) *uint64 { return &s.ParityErrors }},
+	{"header_errors", func(s *Stats) *uint64 { return &s.HeaderErrors }},
+	{"duplicates", func(s *Stats) *uint64 { return &s.Duplicates }},
+	{"sups_sent", func(s *Stats) *uint64 { return &s.SupsSent }},
+	{"sups_received", func(s *Stats) *uint64 { return &s.SupsReceived }},
+	{"partirqs_sent", func(s *Stats) *uint64 { return &s.PartIRQsSent }},
+	{"partirqs_recvd", func(s *Stats) *uint64 { return &s.PartIRQsRecvd }},
 }
+
+// NumStats is the number of counters in Stats, in table order.
+func NumStats() int { return len(statsFields) }
+
+// StatsNames returns the counter names in table order.
+func StatsNames() []string {
+	names := make([]string, len(statsFields))
+	for i, f := range statsFields {
+		names[i] = f.name
+	}
+	return names
+}
+
+// Add accumulates o into s, field by field from the shared table.
+func (s *Stats) Add(o *Stats) {
+	for _, f := range statsFields {
+		*f.get(s) += *f.get(o)
+	}
+}
+
+// Each calls emit for every counter in table order.
+func (s *Stats) Each(emit func(name string, v uint64)) {
+	for _, f := range statsFields {
+		emit(f.name, *f.get(s))
+	}
+}
+
+// Value returns counter i in table order (the indexed view the telemetry
+// peek window serves word by word).
+func (s *Stats) Value(i int) uint64 { return *statsFields[i].get(s) }
+
+// SetValue stores counter i in table order (for reassembling a Stats
+// from peeked words on the host side).
+func (s *Stats) SetValue(i int, v uint64) { *statsFields[i].get(s) = v }
 
 // SCU is one node's serial communications unit.
 type SCU struct {
@@ -280,12 +323,14 @@ func (s *SCU) OnSupervisor(fn func(l geom.Link, word uint64)) { s.onSupervisor =
 // (the SCU register the packet lands in).
 func (s *SCU) LastSupervisor(l geom.Link) uint64 { return s.lastSup[geom.LinkIndex(l)] }
 
-// Stats returns protocol counters summed over all links.
+// Stats returns protocol counters summed over all links via the shared
+// field table — the per-link counters are the single source of truth;
+// this aggregate (like the machine-level one) is derived on demand.
 func (s *SCU) Stats() Stats {
 	var total Stats
 	for _, lu := range s.links {
 		if lu != nil {
-			total.add(lu.stats)
+			total.Add(&lu.stats)
 		}
 	}
 	return total

@@ -31,6 +31,17 @@ type Space[T any] struct {
 	AXPY func(y T, a complex128, x T)
 	// Scale computes x *= a in place.
 	Scale func(x T, a complex128)
+	// OnIteration, if set, is called once after each completed solver
+	// iteration — a pure observation hook (telemetry counters); it must
+	// not mutate solver state.
+	OnIteration func()
+}
+
+// noteIteration fires the per-iteration hook if one is installed.
+func (sp Space[T]) noteIteration() {
+	if sp.OnIteration != nil {
+		sp.OnIteration()
+	}
 }
 
 // Op applies a linear operator: dst = A src.
@@ -104,6 +115,7 @@ func CGNE[T any](sp Space[T], applyD, applyDdag Op[T], x, b T, tol float64, maxI
 		sp.AXPY(p, 1, r)
 		rr = rrNew
 		res.Iterations = iter + 1
+		sp.noteIteration()
 	}
 	if rr <= target {
 		res.Converged = true
@@ -164,6 +176,7 @@ func CG[T any](sp Space[T], applyA Op[T], x, b T, tol float64, maxIter int) (Res
 		sp.AXPY(p, 1, r)
 		rr = rrNew
 		res.Iterations = iter + 1
+		sp.noteIteration()
 	}
 	if rr <= target {
 		res.Converged = true
