@@ -1,7 +1,12 @@
 # Standard gate: everything a change must pass before it lands.
-# `make check` = vet + build + race-enabled tests.
+# `make check` = vet + lint + build + race-enabled tests + fuzz smoke.
 
 GO ?= go
+
+# How long the wire-format fuzz smoke runs inside `make check`: long
+# enough to exercise the mutator past the seed corpus, short enough to
+# keep the gate fast. `make fuzz FUZZTIME=5m` for a real soak.
+FUZZTIME ?= 3s
 
 # The pinned benchmark set tracked across allocation-path changes:
 # engine dispatch (both tiers), one machine-wide reduction, and the
@@ -10,12 +15,23 @@ GO ?= go
 # parsed results to BENCH_frames.json (one JSON entry per -count run).
 BENCH_SET = ^(BenchmarkEngineDispatch|BenchmarkGlobalSumMachine|BenchmarkTelemetryOverhead|BenchmarkE1FunctionalWilson)$$
 
-.PHONY: check vet build test race bench benchall tables
+.PHONY: check vet lint fuzz build test race bench benchall tables
 
-check: vet build race
+check: vet lint build race fuzz
 
 vet:
 	$(GO) vet ./...
+
+# qcdoclint: the project's own analyzers (simtime, maprange, hotalloc,
+# contsafe) machine-check the determinism, zero-alloc, and
+# continuation-tier invariants. DESIGN.md §11.
+lint:
+	$(GO) run ./cmd/qcdoclint ./...
+
+# Wire-format fuzzing: Decode/Wire round-trip and single-bit-error
+# detection on the SCU packet codec.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME) ./internal/scupkt
 
 build:
 	$(GO) build ./...

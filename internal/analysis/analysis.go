@@ -1,0 +1,224 @@
+// Package analysis is the simulator's static-analysis framework: a
+// stdlib-only re-creation of the golang.org/x/tools/go/analysis model
+// (Analyzer, Pass, Diagnostic) that qcdoclint and the analyzer test
+// harness share. The container this repo builds in has no module
+// proxy, so the framework is self-hosted on go/ast + go/types; the
+// analyzer API mirrors x/tools closely enough that the checkers would
+// port to a vettool driver unchanged.
+//
+// The point of the suite (DESIGN.md §11): every invariant the test
+// suite asserts dynamically — bit-identical deterministic timing, the
+// zero-alloc frame path, the no-blocking continuation tier — is also
+// enforced at lint time, so a future change cannot silently erode the
+// properties the paper's results depend on.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and the driver's
+	// -list output.
+	Name string
+	// Doc is the one-paragraph description: which runtime property the
+	// analyzer guards and how to annotate exceptions.
+	Doc string
+	// Run applies the analyzer to one package and reports findings via
+	// pass.Report. The result value is unused by the driver (kept for
+	// x/tools API shape).
+	Run func(*Pass) (any, error)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass holds one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	markers map[string]map[string]bool // marker text -> "file:line" set
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Suppression markers. A marker comment on the offending line, or on
+// the line directly above it, silences the corresponding analyzer for
+// that line. Markers are deliberate, grep-able waivers: the reviewable
+// record that a human decided the invariant does not apply there.
+const (
+	// MarkerUnorderedOK waives maprange: the map iteration's order
+	// genuinely cannot be observed (e.g. accumulating a commutative sum).
+	MarkerUnorderedOK = "qcdoclint:unordered-ok"
+	// MarkerAllocOK waives hotalloc for one statement of a //qcdoc:noalloc
+	// function — the cold error/panic branch off the hot path.
+	MarkerAllocOK = "qcdoclint:alloc-ok"
+	// MarkerBlockingOK waives contsafe: the call looks blocking but is
+	// known not to run on the continuation tier.
+	MarkerBlockingOK = "qcdoclint:blocking-ok"
+	// MarkerWalltimeOK waives simtime: host wall-clock use outside the
+	// simulated machine (e.g. a CLI progress meter).
+	MarkerWalltimeOK = "qcdoclint:walltime-ok"
+)
+
+// NoallocTag is the function annotation hotalloc enforces: a
+// "//qcdoc:noalloc" directive in a function's doc comment declares it
+// part of the steady-state hot path that must not allocate.
+const NoallocTag = "qcdoc:noalloc"
+
+// Suppressed reports whether a marker comment covers the line of pos:
+// the marker sits on that line or the line directly above.
+func (p *Pass) Suppressed(marker string, pos token.Pos) bool {
+	if p.markers == nil {
+		p.markers = map[string]map[string]bool{}
+	}
+	lines, ok := p.markers[marker]
+	if !ok {
+		lines = map[string]bool{}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.Contains(c.Text, marker) {
+						continue
+					}
+					cp := p.Fset.Position(c.Pos())
+					// The marker covers its own line (trailing comment)
+					// and the next line (marker-above style).
+					lines[fmt.Sprintf("%s:%d", cp.Filename, cp.Line)] = true
+					lines[fmt.Sprintf("%s:%d", cp.Filename, cp.Line+1)] = true
+				}
+			}
+		}
+		p.markers[marker] = lines
+	}
+	dp := p.Fset.Position(pos)
+	return lines[fmt.Sprintf("%s:%d", dp.Filename, dp.Line)]
+}
+
+// SuppressedAt reports whether the marker covers either the diagnostic
+// position or the start of its enclosing statement — so one marker
+// waives a multi-line statement (a wrapped panic(fmt.Sprintf(...))).
+func (p *Pass) SuppressedAt(marker string, pos, stmtPos token.Pos) bool {
+	if p.Suppressed(marker, pos) {
+		return true
+	}
+	return stmtPos.IsValid() && p.Suppressed(marker, stmtPos)
+}
+
+// HasAnnotation reports whether the function's doc comment carries the
+// given directive (e.g. NoallocTag). Directive comments ("//tool:verb")
+// are excluded from godoc text but remain in the comment group.
+func HasAnnotation(fd *ast.FuncDecl, tag string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.Contains(c.Text, "//"+tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgIs reports whether an import path denotes the named simulator
+// package: the path is exactly name or ends in "/name". Matching by
+// tail lets analyzer fixtures stand in a fake "event" or "telemetry"
+// package for the real qcdoc/internal one.
+func PkgIs(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// ReceiverOf resolves a method call expression to (package path,
+// receiver type name, method name). It follows both method selections
+// (x.M() where x is a value) and package-qualified calls (pkg.F()).
+// The bool result reports whether the callee resolved to a *types.Func.
+func ReceiverOf(info *types.Info, call *ast.CallExpr) (pkgPath, recvName, funcName string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		if id, isID := call.Fun.(*ast.Ident); isID {
+			if fn, isFn := info.Uses[id].(*types.Func); isFn && fn.Pkg() != nil {
+				return fn.Pkg().Path(), "", fn.Name(), true
+			}
+		}
+		return "", "", "", false
+	}
+	if s, found := info.Selections[sel]; found {
+		fn, isFn := s.Obj().(*types.Func)
+		if !isFn || fn.Pkg() == nil {
+			return "", "", "", false
+		}
+		return fn.Pkg().Path(), namedName(s.Recv()), fn.Name(), true
+	}
+	// Package-qualified function: pkg.F(...).
+	if fn, isFn := info.Uses[sel.Sel].(*types.Func); isFn && fn.Pkg() != nil {
+		recv := ""
+		if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+			recv = namedName(sig.Recv().Type())
+		}
+		return fn.Pkg().Path(), recv, fn.Name(), true
+	}
+	return "", "", "", false
+}
+
+// namedName returns the name of the named type under pointers and
+// generic instantiation, or "".
+func namedName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return ""
+		}
+	}
+}
+
+// RootIdent returns the base identifier of an lvalue-ish expression:
+// the x in x, x.f, x[i], *x, (x). Nil when the expression has no such
+// base (a call result, a literal).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch ee := e.(type) {
+		case *ast.Ident:
+			return ee
+		case *ast.SelectorExpr:
+			e = ee.X
+		case *ast.IndexExpr:
+			e = ee.X
+		case *ast.StarExpr:
+			e = ee.X
+		case *ast.ParenExpr:
+			e = ee.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ObjOf resolves an identifier to its object (use or definition).
+func ObjOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,145 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixtures
+// themselves — the same contract as golang.org/x/tools' analysistest,
+// rebuilt on the stdlib-only loader.
+//
+// Fixtures live in testdata/src/<importpath>/*.go. A line that should
+// be flagged carries a trailing comment:
+//
+//	for k := range m { // want `iteration over map`
+//
+// Each backquoted or double-quoted token after "want" is a regular
+// expression that must match one diagnostic reported on that line;
+// every diagnostic must in turn be matched by some expectation, so
+// fixtures double as negative tests: an unmarked clean line that draws
+// a report fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"qcdoc/internal/analysis"
+	"qcdoc/internal/analysis/load"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads each fixture package from testdata/src, applies the
+// analyzer, and reports mismatches between actual diagnostics and the
+// fixtures' want-comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ctx := load.NewContext(testdata + "/src")
+	for _, path := range pkgPaths {
+		pkg, err := ctx.LoadDir(testdata+"/src/"+path, path)
+		if err != nil {
+			t.Fatalf("%s: loading fixture %s: %v", a.Name, path, err)
+		}
+		check(t, a, pkg)
+	}
+}
+
+// expectation is one want-token: a regexp expected to match a
+// diagnostic at file:line.
+type expectation struct {
+	key     string // "file:line"
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func check(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer failed on %s: %v", a.Name, pkg.Path, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants {
+			if w.key == key && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q at %s, got none", a.Name, w.raw, w.key)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, raw := range splitWantTokens(m[1]) {
+					pat, err := unquoteToken(raw)
+					if err != nil {
+						t.Fatalf("bad want token %q at %s: %v", raw, pos, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want regexp %q at %s: %v", pat, pos, err)
+					}
+					wants = append(wants, &expectation{key: key, rx: rx, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWantTokens splits `"a" "b c"` or "`a` `b`" into quoted tokens.
+func splitWantTokens(s string) []string {
+	var toks []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			break // trailing prose after the tokens; ignore
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			break
+		}
+		toks = append(toks, s[:end+2])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return toks
+}
+
+func unquoteToken(raw string) (string, error) {
+	if strings.HasPrefix(raw, "`") {
+		return strings.Trim(raw, "`"), nil
+	}
+	return strconv.Unquote(raw)
+}

@@ -1,0 +1,12 @@
+package contsafe_test
+
+import (
+	"testing"
+
+	"qcdoc/internal/analysis/analysistest"
+	"qcdoc/internal/analysis/contsafe"
+)
+
+func TestContsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", contsafe.Analyzer, "a")
+}

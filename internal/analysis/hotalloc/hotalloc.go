@@ -1,0 +1,321 @@
+// Package hotalloc is the compile-time gate on the allocation-free
+// frame path.
+//
+// The simulator's steady state moves one 64-bit word per simulated
+// frame with zero heap allocations (DESIGN.md §9): frames are value
+// types, rings are preallocated, timers and pumps are pre-bound.
+// Runtime tests (TestSteadyStateWordPathAllocFree and friends) assert
+// the property end to end, but only for the paths the tests happen to
+// drive. hotalloc makes the discipline local and total: a function
+// annotated //qcdoc:noalloc is rejected if it contains any of the
+// constructs that put frame-rate garbage on the heap —
+//
+//   - implicit or explicit conversion of a concrete value to an
+//     interface (boxing);
+//   - a closure that captures locals (a fresh heap object per call;
+//     hot callbacks must be pre-bound once at construction);
+//   - any call into fmt (formatting allocates);
+//   - string concatenation;
+//   - an append whose result is not assigned back to the same slice
+//     (growth or aliasing instead of ring reuse).
+//
+// Cold branches inside a hot function — the panic on a protocol
+// violation, the error return on an untrained wire — are waived line
+// by line with //qcdoclint:alloc-ok, keeping the waiver visible in the
+// diff that introduces it.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"qcdoc/internal/analysis"
+)
+
+// Analyzer is the hotalloc checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "reject boxing, capturing closures, fmt calls, string concatenation, and " +
+		"un-reused append in functions annotated //qcdoc:noalloc; waive cold branches " +
+		"with //qcdoclint:alloc-ok.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasAnnotation(fd, analysis.NoallocTag) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checker walks one annotated function, tracking the enclosing
+// statement (for multi-line waivers) and the result types of the
+// innermost function literal (for return-boxing checks).
+type checker struct {
+	pass    *analysis.Pass
+	fd      *ast.FuncDecl
+	stack   []ast.Node
+	results []*types.Tuple // innermost-last; index 0 is fd's own results
+	goodApp map[*ast.CallExpr]bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, fd: fd, goodApp: map[*ast.CallExpr]bool{}}
+	if def, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		c.results = append(c.results, def.Type().(*types.Signature).Results())
+	} else {
+		c.results = append(c.results, nil)
+	}
+	// Pre-pass: appends whose result is assigned back to their first
+	// argument reuse the backing array and are the sanctioned form.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if ok && isBuiltinAppend(pass.TypesInfo, call) && len(call.Args) > 0 &&
+				types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+				c.goodApp[call] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, c.visit)
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	if n == nil {
+		top := c.stack[len(c.stack)-1]
+		if _, ok := top.(*ast.FuncLit); ok {
+			c.results = c.results[:len(c.results)-1]
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+		return true
+	}
+	c.stack = append(c.stack, n)
+	switch nn := n.(type) {
+	case *ast.FuncLit:
+		if sig, ok := c.pass.TypesInfo.Types[nn].Type.(*types.Signature); ok {
+			c.results = append(c.results, sig.Results())
+		} else {
+			c.results = append(c.results, nil)
+		}
+		c.checkCapture(nn)
+	case *ast.CallExpr:
+		c.checkCall(nn)
+	case *ast.BinaryExpr:
+		if nn.Op == token.ADD && c.isString(nn) {
+			c.report(nn.Pos(), "string concatenation allocates on the hot path; use a fixed buffer or precompute the string")
+		}
+	case *ast.AssignStmt:
+		c.checkAssign(nn)
+	case *ast.GenDecl:
+		c.checkVarDecl(nn)
+	case *ast.ReturnStmt:
+		c.checkReturn(nn)
+	}
+	return true
+}
+
+func (c *checker) curStmtPos() token.Pos {
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if s, ok := c.stack[i].(ast.Stmt); ok {
+			return s.Pos()
+		}
+	}
+	return token.NoPos
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.pass.SuppressedAt(analysis.MarkerAllocOK, pos, c.curStmtPos()) {
+		return
+	}
+	c.pass.Reportf(pos, "//qcdoc:noalloc function %s: "+format,
+		append([]any{c.fd.Name.Name}, args...)...)
+}
+
+// checkCapture flags closures that capture variables declared outside
+// the literal but inside the annotated function (including its
+// receiver and parameters): each call of the enclosing code then
+// allocates a fresh closure object.
+func (c *checker) checkCapture(lit *ast.FuncLit) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		if obj.Pos() >= c.fd.Pos() && obj.Pos() < c.fd.End() &&
+			!(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			seen[obj] = true
+			c.report(lit.Pos(), "closure captures %s and allocates per call; pre-bind the callback once at construction (event.Timer / Handler)", obj.Name())
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// fmt is never allocation-free.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				c.report(call.Pos(), "calls fmt.%s, which allocates; format off the hot path", sel.Sel.Name)
+			}
+		}
+	}
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	// Explicit conversion T(x): boxing when T is an interface.
+	if tv.IsType() {
+		if len(call.Args) == 1 {
+			c.checkBox(tv.Type, call.Args[0], "conversion")
+		}
+		return
+	}
+	if isBuiltinAppend(c.pass.TypesInfo, call) {
+		if !c.goodApp[call] {
+			c.report(call.Pos(), "append result is not assigned back to %s; growing or re-slicing allocates — reuse the ring's backing array", exprOrValue(call.Args))
+		}
+		return
+	}
+	if tv.IsBuiltin() {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	// Implicit boxing of arguments into interface parameters.
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last
+			} else if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		c.checkBox(pt, arg, "argument")
+	}
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && c.isString(as.Lhs[0]) {
+		c.report(as.Pos(), "string += allocates on the hot path; use a fixed buffer")
+		return
+	}
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		if lt, ok := c.pass.TypesInfo.Types[as.Lhs[i]]; ok {
+			c.checkBox(lt.Type, as.Rhs[i], "assignment")
+		}
+	}
+}
+
+func (c *checker) checkVarDecl(gd *ast.GenDecl) {
+	if gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || vs.Type == nil {
+			continue
+		}
+		dt, ok := c.pass.TypesInfo.Types[vs.Type]
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			c.checkBox(dt.Type, v, "initialization")
+		}
+	}
+}
+
+func (c *checker) checkReturn(rs *ast.ReturnStmt) {
+	res := c.results[len(c.results)-1]
+	if res == nil || len(rs.Results) != res.Len() {
+		return
+	}
+	for i, e := range rs.Results {
+		c.checkBox(res.At(i).Type(), e, "return")
+	}
+}
+
+// checkBox reports when a concrete value meets an interface
+// destination — the conversion heap-allocates at frame rate.
+// Pointer-shaped values (pointers, channels, maps, funcs) are exempt:
+// they fit the interface data word directly, which is exactly why
+// handing a *Timer or *hssl.Wire to Engine.AtHandler is free.
+func (c *checker) checkBox(dst types.Type, src ast.Expr, what string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() || types.IsInterface(tv.Type) {
+		return
+	}
+	if pointerShaped(tv.Type) {
+		return
+	}
+	c.report(src.Pos(), "%s converts %s to interface %s (boxing allocates); keep concrete types or pre-box once",
+		what, tv.Type.String(), dst.String())
+}
+
+// pointerShaped reports whether values of t are a single pointer word,
+// so interface conversion copies the pointer instead of allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil { // constants fold at compile time
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func exprOrValue(args []ast.Expr) string {
+	if len(args) == 0 {
+		return "its slice"
+	}
+	return types.ExprString(args[0])
+}

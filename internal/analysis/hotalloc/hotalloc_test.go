@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"qcdoc/internal/analysis/analysistest"
+	"qcdoc/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a")
+}

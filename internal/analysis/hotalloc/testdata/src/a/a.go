@@ -1,0 +1,130 @@
+// Fixture for the hotalloc analyzer: inside //qcdoc:noalloc functions,
+// boxing, capturing closures, fmt calls, string concatenation, and
+// un-reused append are flagged; ring-reuse appends, pointer-shaped
+// interface conversions, unannotated functions, and
+// //qcdoclint:alloc-ok waivers are not.
+package a
+
+import "fmt"
+
+type ring struct {
+	buf  []int
+	head int
+}
+
+type sink interface{ accept(uint64) }
+
+// The sanctioned append: result assigned back to the same slice, so
+// steady state reuses the backing array.
+//
+//qcdoc:noalloc
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+//qcdoc:noalloc
+func grow(s []int, v int) []int {
+	t := append(s, v) // want `append result is not assigned back to s`
+	return t
+}
+
+//qcdoc:noalloc
+func boxReturn(v int) any {
+	return v // want `return converts int to interface`
+}
+
+//qcdoc:noalloc
+func boxConvert(v int) {
+	_ = any(v) // want `conversion converts int to interface`
+}
+
+//qcdoc:noalloc
+func boxAssign(v uint64) {
+	var x any
+	x = v // want `assignment converts uint64 to interface`
+	_ = x
+}
+
+//qcdoc:noalloc
+func boxDecl(v int) {
+	var x any = v // want `initialization converts int to interface`
+	_ = x
+}
+
+//qcdoc:noalloc
+func boxArg(s sink, r *ring) {
+	take(r.head) // want `argument converts int to interface`
+	_ = s
+}
+
+func take(v any) {}
+
+// Boxing a pointer stores it in the interface word directly — no
+// allocation; this is exactly why handing a pre-bound *ring to a
+// dispatcher is free.
+//
+//qcdoc:noalloc
+func boxPointer(r *ring) any {
+	return r
+}
+
+//qcdoc:noalloc
+func format(v int) {
+	fmt.Println() // want `calls fmt.Println`
+}
+
+//qcdoc:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//qcdoc:noalloc
+func concatAssign(a, b string) string {
+	a += b // want `string \+= allocates`
+	return a
+}
+
+//qcdoc:noalloc
+func closure(n int) func() int {
+	return func() int { return n } // want `closure captures n`
+}
+
+// A closure over nothing local is a static function value: free.
+//
+//qcdoc:noalloc
+func staticClosure() func() int {
+	return func() int { return 42 }
+}
+
+// Unannotated functions may allocate freely; the discipline is opt-in
+// per hot function.
+func coldSetup(names []string) map[string]int {
+	m := make(map[string]int, len(names))
+	for i, n := range names {
+		m[n] = i
+	}
+	return m
+}
+
+// A cold branch inside a hot function is waived line by line.
+//
+//qcdoc:noalloc
+func coldPanic(v int) int {
+	if v < 0 {
+		panic(fmt.Sprintf("bad %d", v)) //qcdoclint:alloc-ok cold guard
+	}
+	return v * 2
+}
+
+// One marker above a wrapped statement covers the whole statement
+// (SuppressedAt resolves the enclosing statement's start line).
+//
+//qcdoc:noalloc
+func coldPanicWrapped(v int) int {
+	if v < 0 {
+		//qcdoclint:alloc-ok cold guard
+		panic(fmt.Sprintf("bad value %d out of range",
+			v))
+	}
+	return v * 2
+}

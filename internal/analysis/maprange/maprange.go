@@ -1,0 +1,178 @@
+// Package maprange flags map iterations whose nondeterministic order
+// can leak into the simulation.
+//
+// Go randomizes map iteration order on purpose. Inside the simulator
+// that randomness is a determinism hazard wherever the loop body does
+// something order-sensitive: scheduling events (the engine breaks
+// simultaneous-event ties by scheduling sequence, so scheduling in map
+// order reorders the whole downstream event stream), appending to a
+// slice that readers treat as ordered, or emitting telemetry counter
+// rows. The fix is always the same and the analyzer recognizes it:
+// collect the keys, sort them, range over the sorted slice — or sort
+// the collected output before anyone can observe it (a sort call on the
+// appended slice later in the same function is accepted). Iterations
+// that are genuinely order-free carry //qcdoclint:unordered-ok.
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qcdoc/internal/analysis"
+)
+
+// Analyzer is the maprange checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag range-over-map loops that schedule events, append to ordered output, " +
+		"or feed telemetry snapshots; sort the keys first, sort the output before use, " +
+		"or mark the loop //qcdoclint:unordered-ok.",
+	Run: run,
+}
+
+// schedulers are event-package methods that enqueue or reorder
+// simulated activity; calling one from inside a map iteration stamps
+// map order onto event sequence numbers.
+var schedulers = map[string]bool{
+	"At": true, "After": true, "AtHandler": true, "AfterHandler": true,
+	"Spawn": true, "SpawnDaemon": true,
+	"Put": true, "PutAfter": true, "Fire": true,
+	"Arm": true, "ArmAt": true, "Goto": true, "Sleep": true,
+}
+
+// sorters recognize the "sorted before observation" repair for
+// appended output.
+var sorters = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Suppressed(analysis.MarkerUnorderedOK, rs.Pos()) {
+			return true
+		}
+		reportHazards(pass, fd, rs)
+		return true
+	})
+}
+
+// reportHazards scans one map-range body and reports each
+// order-sensitive effect it finds.
+func reportHazards(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	mapExpr := types.ExprString(rs.X)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range nn.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.TypesInfo, call) {
+					continue
+				}
+				var target types.Object
+				if i < len(nn.Lhs) {
+					if id := analysis.RootIdent(nn.Lhs[i]); id != nil {
+						target = analysis.ObjOf(pass.TypesInfo, id)
+					}
+				}
+				if target != nil && sortedAfter(pass, fd, rs, target) {
+					continue
+				}
+				pass.Reportf(rs.Pos(),
+					"iteration over map %s is unordered but the body appends to ordered output (%s); range over sorted keys, sort the result before use, or mark //qcdoclint:unordered-ok",
+					mapExpr, types.ExprString(nn.Lhs[i]))
+			}
+		case *ast.CallExpr:
+			if pkg, _, name, ok := analysis.ReceiverOf(pass.TypesInfo, nn); ok {
+				if schedulers[name] && analysis.PkgIs(pkg, "event") {
+					pass.Reportf(rs.Pos(),
+						"iteration over map %s is unordered but the body schedules events (%s); simultaneous-event ties follow scheduling order, so range over sorted keys or mark //qcdoclint:unordered-ok",
+						mapExpr, name)
+				}
+			}
+			if isEmitCall(pass.TypesInfo, nn) {
+				pass.Reportf(rs.Pos(),
+					"iteration over map %s is unordered but the body feeds a telemetry snapshot; emit in sorted key order or mark //qcdoclint:unordered-ok",
+					mapExpr)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isEmitCall reports whether the call invokes a telemetry.EmitFunc —
+// the snapshot row sink.
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "EmitFunc" && analysis.PkgIs(named.Obj().Pkg().Path(), "telemetry")
+}
+
+// sortedAfter reports whether, later in the same function, the slice
+// object accumulated inside the range is passed to a sort call — the
+// collect-then-sort idiom that makes the map order unobservable.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		pkg, _, name, ok := analysis.ReceiverOf(pass.TypesInfo, call)
+		if !ok || !sorters[name] || !(pkg == "sort" || pkg == "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := analysis.RootIdent(arg); id != nil && analysis.ObjOf(pass.TypesInfo, id) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+

@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"qcdoc/internal/analysis/analysistest"
+	"qcdoc/internal/analysis/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, "testdata", maprange.Analyzer, "a")
+}

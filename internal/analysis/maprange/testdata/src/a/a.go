@@ -1,0 +1,79 @@
+// Fixture for the maprange analyzer: map iterations that schedule
+// events, append to ordered output, or feed telemetry are flagged;
+// sorted-key loops, sort-after collection, commutative reductions, and
+// //qcdoclint:unordered-ok waivers are not.
+package a
+
+import (
+	"sort"
+
+	"event"
+	"telemetry"
+)
+
+func schedules(eng *event.Engine, wake map[string]event.Time) {
+	for _, t := range wake { // want `schedules events \(At\)`
+		eng.At(t, func() {})
+	}
+}
+
+func schedulesQueue(q *event.Queue, pending map[int]int) {
+	for _, v := range pending { // want `schedules events \(Put\)`
+		q.Put(v)
+	}
+}
+
+func appendsOrdered(m map[string]int) []string {
+	var names []string
+	for k := range m { // want `appends to ordered output \(names\)`
+		names = append(names, k)
+	}
+	return names
+}
+
+// The collect-then-sort idiom: map order is unobservable once the
+// output is sorted before anyone reads it.
+func appendsThenSorts(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func emits(counters map[string]uint64, emit telemetry.EmitFunc) {
+	for name, v := range counters { // want `feeds a telemetry snapshot`
+		emit(name, float64(v))
+	}
+}
+
+// Ranging over a sorted key slice is the canonical repair; only the
+// map range itself is order-hazardous.
+func sortedKeys(eng *event.Engine, wake map[string]event.Time) {
+	keys := make([]string, 0, len(wake))
+	for k := range wake {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		eng.At(wake[k], func() {})
+	}
+}
+
+// A commutative reduction observes nothing of the order.
+func sums(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// An explicit waiver silences the loop.
+func waived(eng *event.Engine, wake map[string]event.Time) {
+	//qcdoclint:unordered-ok all wakes are at distinct times
+	for _, t := range wake {
+		eng.At(t, func() {})
+	}
+}

@@ -1,0 +1,5 @@
+// Package telemetry is a minimal stand-in for qcdoc/internal/telemetry.
+package telemetry
+
+// EmitFunc receives one snapshot row.
+type EmitFunc func(name string, value float64)

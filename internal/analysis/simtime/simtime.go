@@ -1,0 +1,90 @@
+// Package simtime forbids wall-clock time and globally-seeded
+// randomness in simulator code.
+//
+// The simulation's headline property is bit-identical determinism: two
+// runs of the same seeded machine dispatch the same event stream and
+// produce the same E4/E5 timing digests (DESIGN.md §5, §11). A single
+// time.Now in a daemon, or a draw from the process-global math/rand,
+// silently couples simulated behaviour to the host — the exact failure
+// the real QCDOC's qos kernel avoided by owning its whole runtime.
+// Simulator code must take time from the event.Engine clock
+// (Engine.Now/After) and randomness from internal/rng streams keyed by
+// (seed, site).
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qcdoc/internal/analysis"
+)
+
+// Analyzer is the simtime checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock (time.Now/Since/Sleep/After/...) and global math/rand " +
+		"in simulator packages; use the event.Engine clock and internal/rng streams. " +
+		"Waive a line with //qcdoclint:walltime-ok.",
+	Run: run,
+}
+
+// wallFuncs are the time-package functions that read or wait on the
+// host clock. Types (time.Duration) and pure constructors of constants
+// are fine; observing the host's clock is not.
+var wallFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// randAllowed are math/rand identifiers that do not touch the global
+// generator; everything else on the package is flagged.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Source":    true,
+	"Rand":      true,
+	"Zipf":      true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pn.Imported().Path(); path {
+			case "time":
+				if wallFuncs[sel.Sel.Name] && !pass.Suppressed(analysis.MarkerWalltimeOK, sel.Pos()) {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in simulator code breaks deterministic replay; use the event.Engine clock (Engine.Now/After) or mark //qcdoclint:walltime-ok",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[sel.Sel.Name] && !pass.Suppressed(analysis.MarkerWalltimeOK, sel.Pos()) {
+					pass.Reportf(sel.Pos(),
+						"global rand.%s is seeded per-process, not per-site; use internal/rng streams keyed by (seed, id) for partition-independent determinism",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

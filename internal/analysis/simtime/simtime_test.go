@@ -1,0 +1,12 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"qcdoc/internal/analysis/analysistest"
+	"qcdoc/internal/analysis/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, "testdata", simtime.Analyzer, "a")
+}

@@ -1,0 +1,49 @@
+// Fixture for the simtime analyzer: wall-clock reads and global
+// math/rand draws are flagged; engine-style code, rand constructors,
+// and //qcdoclint:walltime-ok waivers are not.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() {
+	_ = time.Now()              // want `wall-clock time.Now`
+	time.Sleep(time.Second)     // want `wall-clock time.Sleep`
+	_ = time.Since(time.Time{}) // want `wall-clock time.Since`
+	_ = time.Until(time.Time{}) // want `wall-clock time.Until`
+	<-time.After(time.Second)   // want `wall-clock time.After`
+	_ = time.Tick(time.Second)  // want `wall-clock time.Tick`
+	_ = time.NewTimer(0)        // want `wall-clock time.NewTimer`
+}
+
+// Duration arithmetic never observes the host clock; only the
+// clock-reading functions are flagged.
+func durationsAreFine() time.Duration {
+	return 3 * time.Millisecond
+}
+
+func random() {
+	_ = rand.Intn(6)    // want `global rand.Intn`
+	_ = rand.Float64()  // want `global rand.Float64`
+	rand.Shuffle(0, nil) // want `global rand.Shuffle`
+}
+
+// Explicit generators with explicit seeds are the sanctioned form —
+// internal/rng builds on exactly this.
+func seededIsFine() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(6)
+}
+
+// A waived line: host wall-clock outside the simulated machine.
+func waived() {
+	_ = time.Now() //qcdoclint:walltime-ok CLI progress meter
+}
+
+// Marker-above style covers the next line.
+func waivedAbove() {
+	//qcdoclint:walltime-ok host-side benchmark timing
+	_ = time.Now()
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"qcdoc/internal/event"
 )
@@ -65,6 +66,7 @@ const frameOverheadBytes = 54
 type Network struct {
 	eng     *event.Engine
 	ports   map[Addr]*Port
+	addrs   []Addr // attached addresses in ascending order, for deterministic broadcast
 	Latency event.Time
 	Dropped uint64 // packets to unknown destinations
 }
@@ -131,6 +133,10 @@ func (n *Network) Attach(addr Addr, bps int64) *Port {
 		rx:   event.NewQueue[Packet](n.eng, fmt.Sprintf("eth %#x", addr)),
 	}
 	n.ports[addr] = p
+	i := sort.Search(len(n.addrs), func(i int) bool { return n.addrs[i] >= addr })
+	n.addrs = append(n.addrs, 0)
+	copy(n.addrs[i+1:], n.addrs[i:])
+	n.addrs[i] = addr
 	return p
 }
 
@@ -154,11 +160,15 @@ func (p *Port) Send(pkt Packet) error {
 	pkt.Payload = payload
 	p.TxPackets++
 	if pkt.Dst == Broadcast {
-		for addr, dst := range p.net.ports {
+		// Fan out in address order, not map order: delivery events at
+		// equal times dispatch in scheduling order, so a map-ordered
+		// broadcast would reorder the downstream event stream from run
+		// to run (maprange enforces this; DESIGN.md §11).
+		for _, addr := range p.net.addrs {
 			if addr == p.addr {
 				continue
 			}
-			dst := dst
+			dst := p.net.ports[addr]
 			cp := pkt
 			p.net.eng.At(arrive, func() { dst.deliver(cp) })
 		}

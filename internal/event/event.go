@@ -108,6 +108,7 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//qcdoc:noalloc
 func (h *eventHeap) push(it item) {
 	*h = append(*h, it)
 	s := *h
@@ -122,6 +123,7 @@ func (h *eventHeap) push(it item) {
 	}
 }
 
+//qcdoc:noalloc
 func (h *eventHeap) pop() item {
 	s := *h
 	top := s[0]
@@ -196,6 +198,7 @@ func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 // AtHandler schedules h.HandleEvent(arg) at time t (clamped to now if in
 // the past). Unlike At, it allocates nothing per call: the handler and
 // argument travel inside the event item.
+//qcdoc:noalloc
 func (e *Engine) AtHandler(t Time, h Handler, arg uint64) {
 	if t < e.now {
 		t = e.now
@@ -205,6 +208,7 @@ func (e *Engine) AtHandler(t Time, h Handler, arg uint64) {
 }
 
 // AfterHandler schedules h.HandleEvent(arg) d from now, allocation-free.
+//qcdoc:noalloc
 func (e *Engine) AfterHandler(d Time, h Handler, arg uint64) {
 	e.AtHandler(e.now+d, h, arg)
 }

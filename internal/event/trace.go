@@ -82,6 +82,7 @@ func NewRecorder(size int) *Recorder {
 
 // record stores one dispatch into the ring. Called from Engine.Run with
 // the item by value so nothing escapes to the heap.
+//qcdoc:noalloc
 func (r *Recorder) record(at Time, seq uint64, fn func(), h Handler, arg uint64) {
 	slot := &r.ring[r.total%uint64(len(r.ring))]
 	slot.At = at

@@ -177,9 +177,10 @@ func (w *Wire) SerializeTime(nBytes int) event.Time {
 // The frame travels by value: Send copies the bits into the in-flight
 // ring, so the caller's Wire value is dead the moment Send returns, and
 // nothing on the steady-state path touches the heap.
+//qcdoc:noalloc
 func (w *Wire) Send(data scupkt.Wire) (event.Time, error) {
 	if !w.trained {
-		return 0, fmt.Errorf("%w: %s", ErrNotTrained, w.name)
+		return 0, fmt.Errorf("%w: %s", ErrNotTrained, w.name) //qcdoclint:alloc-ok cold error path
 	}
 	start := w.eng.Now()
 	if w.busyUntil > start {
@@ -211,6 +212,7 @@ func (w *Wire) Send(data scupkt.Wire) (event.Time, error) {
 // implements event.Handler and is not meant to be called directly.
 // Arrival events fire in send order (FIFO serialization), so each stage
 // operates on the in-flight ring's head.
+//qcdoc:noalloc
 func (w *Wire) HandleEvent(stage uint64) {
 	switch stage {
 	case wireArrive:
@@ -224,6 +226,7 @@ func (w *Wire) HandleEvent(stage uint64) {
 	}
 }
 
+//qcdoc:noalloc
 func (w *Wire) pushInFlight(f Frame) {
 	if w.flyLen == len(w.fly) {
 		w.growInFlight()
@@ -232,6 +235,7 @@ func (w *Wire) pushInFlight(f Frame) {
 	w.flyLen++
 }
 
+//qcdoc:noalloc
 func (w *Wire) popInFlight() Frame {
 	f := w.fly[w.flyHead]
 	w.flyHead = (w.flyHead + 1) % len(w.fly)

@@ -130,9 +130,10 @@ func (lu *linkUnit) start() {
 // sendPacket encodes and transmits one packet as a value frame, treating
 // an untrained wire as an assembly error (the machine trains all links
 // at boot, before the SCU engines start moving data).
+//qcdoc:noalloc
 func (lu *linkUnit) sendPacket(p scupkt.Packet) {
 	if _, err := lu.out.Send(p.Wire()); err != nil {
-		panic(fmt.Sprintf("scu %s link %v: %v", lu.scu.name, lu.link, err))
+		panic(fmt.Sprintf("scu %s link %v: %v", lu.scu.name, lu.link, err)) //qcdoclint:alloc-ok cold assembly-error path
 	}
 }
 
@@ -154,6 +155,7 @@ func (lu *linkUnit) injectsLen() int { return len(lu.injects) - lu.injHead }
 
 // popInject removes the oldest queued global word. When the queue
 // drains, the backing array is kept and reused for the next burst.
+//qcdoc:noalloc
 func (lu *linkUnit) popInject() uint64 {
 	w := lu.injects[lu.injHead]
 	lu.injHead++
@@ -171,6 +173,7 @@ func (lu *linkUnit) popInject() uint64 {
 // wires) identical to the coroutine tier; an engine that is already
 // running, charging its startup pipeline, or parked in a different state
 // ignores the kick, exactly as a gate fire with no waiter did.
+//qcdoc:noalloc
 func (lu *linkUnit) kick(state string) {
 	if lu.sm == nil || lu.pumpPending || lu.sm.State() != state {
 		return
@@ -184,6 +187,7 @@ func (lu *linkUnit) kick(state string) {
 // between the words of a bulk transfer; a word fetched from memory while
 // the ack window is full stays in hand and goes out first when the
 // window opens.
+//qcdoc:noalloc
 func (lu *linkUnit) pump() {
 	if lu.sm == nil {
 		return // SCU not started; queued work drains when Start runs
@@ -232,6 +236,7 @@ func (lu *linkUnit) pump() {
 }
 
 // sendHeld transmits the word in hand (window room guaranteed by pump).
+//qcdoc:noalloc
 func (lu *linkUnit) sendHeld() {
 	seq := lu.seqNext
 	lu.seqNext = (lu.seqNext + 1) % scupkt.SeqMod
@@ -253,6 +258,7 @@ func (lu *linkUnit) sendHeld() {
 // and restart the clock. Arming bumps the timer's generation, so any
 // pop of the window head implicitly cancels the outstanding timer by
 // re-arming (or stopping) it.
+//qcdoc:noalloc
 func (lu *linkUnit) ackTimeout() {
 	if lu.unackedLen == 0 {
 		return
@@ -283,6 +289,7 @@ func (lu *linkUnit) transmitSup(w uint64) {
 
 // supTimeout resends the outstanding supervisor word (stop-and-wait
 // recovery); the supervisor ack stops the timer.
+//qcdoc:noalloc
 func (lu *linkUnit) supTimeout() {
 	if !lu.supPending {
 		return
@@ -296,6 +303,7 @@ func (lu *linkUnit) supTimeout() {
 
 // handleFrame is the receive engine: it runs in the arrival event of
 // every inbound frame, decoding the value frame in place.
+//qcdoc:noalloc
 func (lu *linkUnit) handleFrame(f hssl.Frame) {
 	pkt, _, err := f.Decode()
 	if err != nil {
@@ -317,6 +325,7 @@ func (lu *linkUnit) handleFrame(f hssl.Frame) {
 	}
 }
 
+//qcdoc:noalloc
 func (lu *linkUnit) handleCorrupt(err error) {
 	if errors.Is(err, scupkt.ErrParity) {
 		lu.stats.ParityErrors++
@@ -326,6 +335,7 @@ func (lu *linkUnit) handleCorrupt(err error) {
 	lu.sendNak()
 }
 
+//qcdoc:noalloc
 func (lu *linkUnit) lastAccepted() int {
 	return (lu.expect + scupkt.SeqMod - 1) % scupkt.SeqMod
 }
@@ -333,6 +343,7 @@ func (lu *linkUnit) lastAccepted() int {
 // sendNak requests a rewind-resend of everything unacknowledged. One nak
 // per stall: repeated errors before the next in-order acceptance are
 // suppressed to avoid redundant rewinds.
+//qcdoc:noalloc
 func (lu *linkUnit) sendNak() {
 	if lu.nakPending {
 		return
@@ -344,12 +355,14 @@ func (lu *linkUnit) sendNak() {
 }
 
 // sendCumAck acknowledges everything accepted so far.
+//qcdoc:noalloc
 func (lu *linkUnit) sendCumAck() {
 	flags := uint8(lu.lastAccepted()) & scupkt.AckSeqMask
 	lu.sendPacket(scupkt.Packet{Kind: scupkt.Ack, Payload: uint64(flags)})
 	lu.stats.AcksSent++
 }
 
+//qcdoc:noalloc
 func (lu *linkUnit) handleData(seq int, w uint64) {
 	delta := (seq - lu.expect + scupkt.SeqMod) % scupkt.SeqMod
 	if delta != 0 {
@@ -386,6 +399,7 @@ func (lu *linkUnit) handleData(seq int, w uint64) {
 		// acknowledgement; the sender's window will block it after
 		// Window words (§2.2).
 		if lu.idleBufLen >= lu.scu.cfg.Window {
+			//qcdoclint:alloc-ok cold protocol-violation panic
 			panic(fmt.Sprintf("scu %s link %v: idle-receive overflow (window protocol violated)",
 				lu.scu.name, lu.link))
 		}
@@ -398,6 +412,7 @@ func (lu *linkUnit) handleData(seq int, w uint64) {
 }
 
 // popIdle removes the oldest idle-held word.
+//qcdoc:noalloc
 func (lu *linkUnit) popIdle() uint64 {
 	w := lu.idleBuf[lu.idleBufHead]
 	lu.idleBufHead = (lu.idleBufHead + 1) % scupkt.SeqMod
@@ -406,6 +421,7 @@ func (lu *linkUnit) popIdle() uint64 {
 }
 
 // storeWord lands an accepted word in local memory via the receive DMA.
+//qcdoc:noalloc
 func (lu *linkUnit) storeWord(w uint64) {
 	t := lu.rxT[0]
 	lu.scu.mem.WriteWord(t.Desc.Addr(lu.rxProgress), w)
@@ -432,6 +448,7 @@ func (lu *linkUnit) programRecv(t *Transfer) {
 	}
 }
 
+//qcdoc:noalloc
 func (lu *linkUnit) containsSeq(seq int) bool {
 	for i := 0; i < lu.unackedLen; i++ {
 		if lu.unacked[(lu.unackedHead+i)%scupkt.SeqMod].seq == seq {
@@ -441,6 +458,7 @@ func (lu *linkUnit) containsSeq(seq int) bool {
 	return false
 }
 
+//qcdoc:noalloc
 func (lu *linkUnit) handleAck(flags uint8) {
 	if flags&scupkt.AckSup != 0 {
 		lu.supPending = false

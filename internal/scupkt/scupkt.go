@@ -76,6 +76,7 @@ const SeqMod = 4
 const WindowSize = 3
 
 // DataKind returns the Data kind carrying sequence number seq mod 4.
+//qcdoc:noalloc
 func DataKind(seq int) Kind { return Data0 + Kind(seq%SeqMod) }
 
 // DataSeq reports the sequence number of a Data kind, or false.
@@ -114,6 +115,7 @@ func (k Kind) String() string {
 
 // encodeKind maps a Kind (3 data bits) to its 6-bit codeword:
 // c = [d1 d2 d3 | d1^d2 d1^d3 d2^d3].
+//qcdoc:noalloc
 func encodeKind(k Kind) uint8 {
 	d1 := uint8(k>>2) & 1
 	d2 := uint8(k>>1) & 1
@@ -122,6 +124,7 @@ func encodeKind(k Kind) uint8 {
 }
 
 // decodeKind inverts encodeKind, requiring an exact codeword match.
+//qcdoc:noalloc
 func decodeKind(code uint8) (Kind, bool) {
 	d1 := code >> 5 & 1
 	d2 := code >> 4 & 1
@@ -135,6 +138,7 @@ func decodeKind(code uint8) (Kind, bool) {
 
 // parityBits computes the two data-parity bits for a 64-bit payload:
 // bit 1 covers the high word, bit 0 the low word.
+//qcdoc:noalloc
 func parityBits(payload uint64) uint8 {
 	hi := uint8(bits.OnesCount32(uint32(payload>>32)) & 1)
 	lo := uint8(bits.OnesCount32(uint32(payload)) & 1)
@@ -213,11 +217,13 @@ func (w *Wire) FlipBit(bit int) {
 
 // Decode parses the packet held in the frame. Semantics match the
 // package-level Decode, with no intermediate buffer.
+//qcdoc:noalloc
 func (w *Wire) Decode() (Packet, int, error) {
 	return Decode(w.buf[:w.n])
 }
 
 // FrameBytes returns the wire size of the packet in bytes.
+//qcdoc:noalloc
 func (p Packet) FrameBytes() int {
 	switch {
 	case p.Kind >= Data0 && p.Kind <= Data3, p.Kind == Supervisor:
@@ -236,6 +242,7 @@ func (p Packet) FrameBits() int { return 8 * p.FrameBytes() }
 
 // Wire encodes the packet directly into a value frame — the per-word
 // path of the SCU transmit engines, with no heap allocation.
+//qcdoc:noalloc
 func (p Packet) Wire() Wire {
 	var w Wire
 	var par uint8
@@ -281,6 +288,7 @@ var (
 // Decode parses one packet from the front of buf, returning the packet
 // and the number of bytes consumed. On a parity failure it still reports
 // the frame length so the stream can resynchronize, along with the error.
+//qcdoc:noalloc
 func Decode(buf []byte) (Packet, int, error) {
 	if len(buf) < HeaderBytes {
 		return Packet{}, 0, ErrTruncated
@@ -297,7 +305,13 @@ func Decode(buf []byte) (Packet, int, error) {
 	n := HeaderBytes
 	switch kind {
 	case Idle:
-		// Header only.
+		// Header only. The parity bits cover no payload and are sent as
+		// zero, so a nonzero pair is a corrupted header — caught here
+		// rather than ignored (found by FuzzWireDecode: without this, a
+		// flipped parity bit on an idle frame decoded cleanly).
+		if par != 0 {
+			return p, n, ErrParity
+		}
 	case PartIRQ, Ack:
 		if len(buf) < HeaderBytes+1 {
 			return Packet{}, 0, ErrTruncated
@@ -335,6 +349,7 @@ type Checksum struct {
 }
 
 // Add folds one payload word into the checksum.
+//qcdoc:noalloc
 func (c *Checksum) Add(payload uint64) {
 	c.count++
 	x := payload + c.count*0x9E3779B97F4A7C15
