@@ -15,7 +15,7 @@ FUZZTIME ?= 3s
 # parsed results to BENCH_frames.json (one JSON entry per -count run).
 BENCH_SET = ^(BenchmarkEngineDispatch|BenchmarkGlobalSumMachine|BenchmarkTelemetryOverhead|BenchmarkE1FunctionalWilson)$$
 
-.PHONY: check vet lint fuzz build test race bench benchall tables
+.PHONY: check vet lint fuzz build test race bench benchall tables chaos
 
 check: vet lint build race fuzz
 
@@ -28,10 +28,13 @@ vet:
 lint:
 	$(GO) run ./cmd/qcdoclint ./...
 
-# Wire-format fuzzing: Decode/Wire round-trip and single-bit-error
-# detection on the SCU packet codec.
+# Format fuzzing: Decode/Wire round-trip and single-bit-error detection
+# on the SCU packet codec, and the checkpoint decoder's typed-error /
+# bounded-allocation contract (what recovery trusts when it restores a
+# possibly-corrupt checkpoint).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME) ./internal/scupkt
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 
 build:
 	$(GO) build ./...
@@ -51,3 +54,11 @@ benchall:
 
 tables:
 	$(GO) run ./cmd/benchtables
+
+# Chaos gate: the E16 scenario under two fixed fault seeds, each run
+# twice — qcdoc exits non-zero unless both runs of a seed produce the
+# same outcome digest (injection, detection, isolation, restore, and
+# re-convergence timing all bit-identical). DESIGN.md §12.
+chaos:
+	$(GO) run ./cmd/qcdoc chaos -faultseed 16 -repeat 2 -quiet
+	$(GO) run ./cmd/qcdoc chaos -faultseed 23 -repeat 2 -quiet

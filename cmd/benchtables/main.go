@@ -52,6 +52,7 @@ func main() {
 			{"E12", experiments.E12},
 			{"E13", experiments.E13},
 			{"E14", experiments.E14},
+			{"E16", experiments.E16},
 			{"E1F", experiments.E1Functional},
 		} {
 			if !selected(f.id) {
@@ -72,7 +73,7 @@ func main() {
 
 // anyFunctionalSelected reports whether -e names a functional experiment.
 func anyFunctionalSelected(want map[string]bool) bool {
-	for _, id := range []string{"E1F", "E4F", "E5F", "E10", "E12", "E13", "E14"} {
+	for _, id := range []string{"E1F", "E4F", "E5F", "E10", "E12", "E13", "E14", "E16"} {
 		if want[id] {
 			return true
 		}

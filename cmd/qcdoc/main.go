@@ -13,6 +13,10 @@
 //
 //	qcdoc estimate -op clover -grid 8,8,8,16 -local 4,4,4,4
 //	    analytic solver estimate for a paper-scale machine
+//
+//	qcdoc chaos -faultseed 16 -repeat 2
+//	    run a solve under deterministic fault injection: node death,
+//	    watchdog detection, checkpoint restore, re-convergence
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"qcdoc/internal/core"
 	"qcdoc/internal/cost"
 	"qcdoc/internal/event"
+	"qcdoc/internal/faultplan"
 	"qcdoc/internal/fermion"
 	"qcdoc/internal/geom"
 	"qcdoc/internal/lattice"
@@ -46,13 +51,15 @@ func main() {
 		cmdScaling(os.Args[2:])
 	case "estimate":
 		cmdEstimate(os.Args[2:])
+	case "chaos":
+		cmdChaos(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qcdoc {info|solve|scaling|estimate} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qcdoc {info|solve|scaling|estimate|chaos} [flags]")
 	os.Exit(2)
 }
 
@@ -272,6 +279,77 @@ func cmdEstimate(args []string) {
 		est.ComputeTime, est.CommRawTime, est.CommRawTime-est.CommTime, est.GsumTime)
 	fmt.Printf("sustained %.1f Mflops/node = %.1f%% of peak; machine %.1f Gflops\n",
 		est.Sustained/1e6, 100*est.Efficiency, est.MachineGflop)
+}
+
+// cmdChaos runs a distributed Wilson solve under a deterministic fault
+// plan: inject, detect, isolate, restore, converge. With -repeat N the
+// whole run executes N times and the outcome digests must match bit for
+// bit — same -faultseed, same recovery timeline, always.
+func cmdChaos(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	mshape := fs.String("machine", "2,2,2", "six-dimensional machine shape (comma separated)")
+	lat := fs.String("lattice", "4,4,4,4", "global lattice")
+	seed := fs.Uint64("seed", 4001, "configuration seed")
+	faultSeed := fs.Uint64("faultseed", 16, "fault plan seed (same seed = same faults, same timeline)")
+	mass := fs.Float64("mass", 0.5, "quark mass")
+	tol := fs.Float64("tol", 1e-8, "relative tolerance")
+	maxIter := fs.Int("maxiter", 400, "iteration limit per attempt")
+	ckptEvery := fs.Int("ckpt-every", 10, "checkpoint the solver state every N CG iterations")
+	crashes := fs.Int("crashes", 1, "node crashes to draw")
+	hangs := fs.Int("hangs", 0, "node hangs to draw")
+	bursts := fs.Int("bursts", 1, "link error bursts to draw")
+	drops := fs.Int("drops", 2, "management packets to drop")
+	dups := fs.Int("dups", 1, "management packets to duplicate")
+	repeat := fs.Int("repeat", 1, "run N times and require identical digests")
+	quiet := fs.Bool("quiet", false, "suppress the per-event narrative")
+	fs.Parse(args)
+
+	cfg := core.ChaosConfig{
+		Shape:           geom.MakeShape(parseDims(*mshape)...),
+		Global:          parseShape4(*lat),
+		Seed:            *seed,
+		FaultSeed:       *faultSeed,
+		Mass:            *mass,
+		Tol:             *tol,
+		MaxIter:         *maxIter,
+		CheckpointEvery: *ckptEvery,
+		Spec: faultplan.Spec{
+			From:        2 * event.Millisecond,
+			To:          10 * event.Millisecond,
+			NodeCrashes: *crashes,
+			NodeHangs:   *hangs,
+			LinkBursts:  *bursts,
+			NetDrops:    *drops,
+			NetDups:     *dups,
+		},
+	}
+	if !*quiet {
+		cfg.Log = os.Stdout
+	}
+	var digests []uint64
+	for i := 0; i < *repeat; i++ {
+		if *repeat > 1 {
+			fmt.Printf("--- run %d/%d ---\n", i+1, *repeat)
+		}
+		out, err := core.RunChaosWilson(cfg)
+		fatal(err)
+		for _, a := range out.Attempts {
+			fmt.Printf("attempt: %s\n", a)
+		}
+		fmt.Printf("residual %.2g, solution CRC %#x\n", out.RelResidual, out.SolutionCRC)
+		fmt.Printf("fault plan digest %#x, outcome digest %#x\n", out.PlanDigest, out.Digest)
+		digests = append(digests, out.Digest)
+	}
+	for _, dg := range digests[1:] {
+		if dg != digests[0] {
+			fmt.Fprintf(os.Stderr, "qcdoc chaos: DIGEST MISMATCH across repeats: %#x vs %#x\n", digests[0], dg)
+			os.Exit(1)
+		}
+	}
+	if *repeat > 1 {
+		fmt.Printf("%d runs, identical outcome digest %#x: recovery timeline is deterministic\n",
+			*repeat, digests[0])
+	}
 }
 
 func fatal(err error) {

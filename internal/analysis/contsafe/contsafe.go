@@ -48,8 +48,8 @@ var registrars = map[string]int{
 // receiver type name -> method names.
 var blocking = map[string]map[string]bool{
 	"Proc":   {"Sleep": true, "SleepUntil": true},
-	"Gate":   {"Wait": true},
-	"Queue":  {"Get": true},
+	"Gate":   {"Wait": true, "WaitUntil": true},
+	"Queue":  {"Get": true, "GetTimeout": true},
 	"Engine": {"Run": true, "RunAll": true},
 }
 

@@ -36,6 +36,10 @@ const (
 	KindGauge Kind = iota + 1
 	// KindFermion is a Dirac spinor field.
 	KindFermion
+	// KindSolver is an in-flight solve: the current solution iterate
+	// (a spinor field) plus the iteration count in the extra header
+	// word. Recovery restores it and warm-restarts CG from the iterate.
+	KindSolver
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -136,6 +140,56 @@ func readHeader(r io.Reader) (kind Kind, l lattice.Shape4, extra uint32, err err
 // simulated machine here).
 const maxVolume = 1 << 26
 
+// allocChunk caps the up-front payload allocation: storage grows as
+// bytes actually arrive, so a corrupt-but-plausible header can never
+// force an allocation far larger than the input it came with (the
+// decoder property FuzzCheckpointDecode pins).
+const allocChunk = 4096
+
+func readMats(r io.Reader, n int) ([]latmath.Mat3, error) {
+	cap0 := n
+	if cap0 > allocChunk {
+		cap0 = allocChunk
+	}
+	out := make([]latmath.Mat3, 0, cap0)
+	for i := 0; i < n; i++ {
+		var m latmath.Mat3
+		for row := 0; row < 3; row++ {
+			for c := 0; c < 3; c++ {
+				z, err := readComplex(r)
+				if err != nil {
+					return nil, err
+				}
+				m[row][c] = z
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func readSpinors(r io.Reader, n int) ([]latmath.Spinor, error) {
+	cap0 := n
+	if cap0 > allocChunk {
+		cap0 = allocChunk
+	}
+	out := make([]latmath.Spinor, 0, cap0)
+	for i := 0; i < n; i++ {
+		var s latmath.Spinor
+		for a := 0; a < 4; a++ {
+			for c := 0; c < 3; c++ {
+				z, err := readComplex(r)
+				if err != nil {
+					return nil, err
+				}
+				s[a][c] = z
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
 func writeComplex(w io.Writer, z complex128) error {
 	if err := binary.Write(w, binary.BigEndian, math.Float64bits(real(z))); err != nil {
 		return err
@@ -183,20 +237,11 @@ func ReadGauge(r io.Reader) (*lattice.GaugeField, error) {
 	if kind != KindGauge {
 		return nil, fmt.Errorf("%w: got %d, want gauge", ErrBadKind, kind)
 	}
-	g := lattice.NewGaugeField(l)
-	for i := range g.U {
-		var m latmath.Mat3
-		for row := 0; row < 3; row++ {
-			for c := 0; c < 3; c++ {
-				z, err := readComplex(cr)
-				if err != nil {
-					return nil, err
-				}
-				m[row][c] = z
-			}
-		}
-		g.U[i] = m
+	us, err := readMats(cr, 4*l.Volume())
+	if err != nil {
+		return nil, err
 	}
+	g := &lattice.GaugeField{L: l, U: us}
 	sum := cr.crc
 	var stored uint32
 	if err := binary.Read(r, binary.BigEndian, &stored); err != nil {
@@ -236,18 +281,11 @@ func ReadFermion(r io.Reader) (*lattice.FermionField, error) {
 	if kind != KindFermion {
 		return nil, fmt.Errorf("%w: got %d, want fermion", ErrBadKind, kind)
 	}
-	f := lattice.NewFermionField(l)
-	for i := range f.S {
-		for a := 0; a < 4; a++ {
-			for c := 0; c < 3; c++ {
-				z, err := readComplex(cr)
-				if err != nil {
-					return nil, err
-				}
-				f.S[i][a][c] = z
-			}
-		}
+	ss, err := readSpinors(cr, l.Volume())
+	if err != nil {
+		return nil, err
 	}
+	f := &lattice.FermionField{L: l, S: ss}
 	var stored uint32
 	if err := binary.Read(r, binary.BigEndian, &stored); err != nil {
 		return nil, err
@@ -256,6 +294,62 @@ func ReadFermion(r io.Reader) (*lattice.FermionField, error) {
 		return nil, ErrBadCRC
 	}
 	return f, nil
+}
+
+// WriteSolverState serializes an in-flight solve: the solution iterate
+// x and the iteration count at which it was taken. The periodic
+// checkpoints of a recovery-enabled CG solve (solver.CGNECheckpointed)
+// are written in this format to host storage, and the chaos/recovery
+// flow restores the newest complete one after a node death.
+func WriteSolverState(w io.Writer, x *lattice.FermionField, iteration uint32) error {
+	cw := &crcWriter{w: w}
+	if err := writeHeader(cw, KindSolver, x.L, iteration); err != nil {
+		return err
+	}
+	for i := range x.S {
+		for a := 0; a < 4; a++ {
+			for c := 0; c < 3; c++ {
+				if err := writeComplex(cw, x.S[i][a][c]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return binary.Write(w, binary.BigEndian, cw.crc)
+}
+
+// ReadSolverState deserializes an in-flight solve, verifying the CRC.
+func ReadSolverState(r io.Reader) (*lattice.FermionField, uint32, error) {
+	cr := &crcReader{r: r}
+	kind, l, iteration, err := readHeader(cr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if kind != KindSolver {
+		return nil, 0, fmt.Errorf("%w: got %d, want solver state", ErrBadKind, kind)
+	}
+	ss, err := readSpinors(cr, l.Volume())
+	if err != nil {
+		return nil, 0, err
+	}
+	x := &lattice.FermionField{L: l, S: ss}
+	var stored uint32
+	if err := binary.Read(r, binary.BigEndian, &stored); err != nil {
+		return nil, 0, err
+	}
+	if stored != cr.crc {
+		return nil, 0, ErrBadCRC
+	}
+	return x, iteration, nil
+}
+
+// FermionCRC returns the checksum a WriteFermion of f would produce —
+// the spinor-field fingerprint recovery runs use to prove the restored
+// solution is bit-identical to the fault-free one.
+func FermionCRC(f *lattice.FermionField) uint32 {
+	cw := &crcWriter{w: io.Discard}
+	_ = WriteFermion(cw, f)
+	return cw.crc
 }
 
 // GaugeCRC returns the checksum a WriteGauge of g would produce —

@@ -1,0 +1,414 @@
+package core
+
+// The chaos/recovery driver: run a distributed Wilson CG solve under a
+// deterministic fault plan and survive it end to end — inject, detect,
+// isolate, restore, converge (DESIGN.md §12, experiment E16).
+//
+// Each attempt is one hosted job: boot a machine through the full
+// qdaemon protocol, arm heartbeats and the watchdog, arm the fault
+// plan, and launch the solve as a qdaemon application whose ranks
+// periodically checkpoint their solution iterate to host storage over
+// the NFS shim. When the watchdog detects a node death it isolates the
+// owning daughterboard and aborts the job; the driver then plays the
+// operator's part of §3.1 — the failed daughterboard leaves the
+// partition, the qdaemon re-forms the largest power-of-two partition
+// from the survivors, and the job restarts there from the newest
+// complete checkpoint. The recovered partition is simulated as its own
+// machine (we model the partition the job runs on, not the idle
+// remainder), with a fresh simulation clock: fault offsets and
+// detection latencies are attempt-relative, and every one of them is
+// folded into the outcome digest.
+//
+// Host storage (the FS map) is the one thing that survives an attempt:
+// exactly the paper's recovery story, where weeks-long runs live and
+// die by the configurations on the host RAID (§4).
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"qcdoc/internal/checkpoint"
+	"qcdoc/internal/event"
+	"qcdoc/internal/faultplan"
+	"qcdoc/internal/fermion"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/machine"
+	"qcdoc/internal/node"
+	"qcdoc/internal/qdaemon"
+	"qcdoc/internal/qmp"
+	"qcdoc/internal/qos"
+	"qcdoc/internal/solver"
+)
+
+// ChaosConfig parameterizes a chaos run.
+type ChaosConfig struct {
+	// Shape is the initial machine; Global the lattice.
+	Shape  geom.Shape
+	Global lattice.Shape4
+	// Seed draws the gauge configuration and source; FaultSeed the
+	// fault plan.
+	Seed      uint64
+	FaultSeed uint64
+
+	Mass    float64
+	Tol     float64
+	MaxIter int
+	// CheckpointEvery is the solver-state checkpoint interval in CG
+	// iterations.
+	CheckpointEvery int
+	// MaxAttempts bounds restarts (a plan can kill more than one node).
+	MaxAttempts int
+
+	// Heartbeat is the node liveness tick period; Watchdog the host
+	// detection policy.
+	Heartbeat event.Time
+	Watchdog  qdaemon.WatchdogConfig
+
+	// Spec describes the faults to draw from FaultSeed.
+	Spec faultplan.Spec
+
+	// Log, when set, receives a human-readable narrative of the run.
+	Log io.Writer
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Mass == 0 {
+		c.Mass = 0.5
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-8
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 400
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 4
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = 100 * event.Microsecond
+	}
+	return c
+}
+
+// ChaosAttempt is the observable outcome of one hosted job attempt.
+type ChaosAttempt struct {
+	Nodes        int
+	RestoredIter int
+	Iterations   int
+	Aborted      bool
+	Converged    bool
+	Failure      qdaemon.FailureRecord
+	EndedAt      event.Time
+}
+
+func (a ChaosAttempt) String() string {
+	if a.Aborted {
+		return fmt.Sprintf("%d nodes, restored iter %d: aborted (%s) at %v",
+			a.Nodes, a.RestoredIter, a.Failure, a.EndedAt)
+	}
+	return fmt.Sprintf("%d nodes, restored iter %d: %d iterations, converged=%v at %v",
+		a.Nodes, a.RestoredIter, a.Iterations, a.Converged, a.EndedAt)
+}
+
+// ChaosOutcome reports a chaos run.
+type ChaosOutcome struct {
+	Attempts    []ChaosAttempt
+	Converged   bool
+	RelResidual float64
+	// SolutionCRC fingerprints the gathered solution field.
+	SolutionCRC uint32
+	// PlanDigest fingerprints the fault schedule; Digest the entire
+	// run, recovery-event timing included. Two runs with the same seeds
+	// must agree on both bit for bit.
+	PlanDigest uint64
+	Digest     uint64
+}
+
+// attemptLayout remembers how an attempt spread the lattice over its
+// machine, so the host can reassemble that attempt's checkpoints later.
+type attemptLayout struct {
+	shape geom.Shape
+	lay   Layout
+}
+
+// chunkName is the host-storage path of one rank's solver-state chunk.
+func chunkName(attempt, iter, rank int) string {
+	return fmt.Sprintf("ckpt/chaos/a%d/i%06d/r%d", attempt, iter, rank)
+}
+
+// RunChaosWilson runs a distributed Wilson CG solve under the fault
+// plan drawn from cfg.FaultSeed, recovering from detected node deaths
+// by repartition + checkpoint restore until the solve converges or
+// MaxAttempts is exhausted.
+func RunChaosWilson(cfg ChaosConfig) (*ChaosOutcome, error) {
+	cfg = cfg.withDefaults()
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+
+	gauge := lattice.NewGaugeField(cfg.Global)
+	gauge.Randomize(cfg.Seed)
+	b := lattice.NewFermionField(cfg.Global)
+	b.Gaussian(cfg.Seed + 1)
+
+	plan := faultplan.Generate(cfg.FaultSeed, cfg.Spec, cfg.Shape.Volume())
+	out := &ChaosOutcome{PlanDigest: plan.Digest()}
+	logf("%s", plan)
+
+	// fs is the host RAID storage: the one artifact that survives an
+	// attempt. Checkpoint chunks commit here all-or-nothing (the NFS
+	// shim assembles a file only when every chunk arrived).
+	fs := map[string][]byte{}
+	nodes := cfg.Shape.Volume()
+	var past []attemptLayout
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		shape := cfg.Shape
+		if attempt > 0 {
+			shape = machine.GuessShape(nodes)
+		}
+		lay, err := NewLayout(shape, cfg.Global)
+		if err != nil {
+			return out, err
+		}
+		x0, baseIter := restoreNewest(fs, past, cfg.Global)
+		logf("attempt %d: %d nodes %v, restored iteration %d", attempt, shape.Volume(), shape, baseIter)
+
+		att, err := runChaosAttempt(cfg, attempt, shape, lay, plan, gauge, b, x0, baseIter, fs, logf)
+		past = append(past, attemptLayout{shape: shape, lay: lay})
+		if err != nil {
+			return out, err
+		}
+		out.Attempts = append(out.Attempts, att.rec)
+		if att.rec.Aborted {
+			nodes = att.healthyPow2
+			logf("attempt %d: %s", attempt, att.rec.Failure)
+			if nodes < 1 {
+				return out, fmt.Errorf("core: no healthy partition left after %s", att.rec.Failure)
+			}
+			continue
+		}
+		out.Converged = att.rec.Converged
+		out.RelResidual = att.met.RelResidual
+		out.SolutionCRC = checkpoint.FermionCRC(att.solution)
+		break
+	}
+	out.Digest = out.computeDigest()
+	if !out.Converged {
+		return out, fmt.Errorf("core: chaos run did not converge in %d attempts", len(out.Attempts))
+	}
+	logf("converged: residual %.2g, solution CRC %#x, digest %#x",
+		out.RelResidual, out.SolutionCRC, out.Digest)
+	return out, nil
+}
+
+// chaosAttempt is the raw result of one attempt.
+type chaosAttempt struct {
+	rec         ChaosAttempt
+	met         SolveMetrics
+	solution    *lattice.FermionField
+	healthyPow2 int
+}
+
+func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
+	plan *faultplan.Plan, gauge *lattice.GaugeField, b, x0 *lattice.FermionField,
+	baseIter int, fs map[string][]byte, logf func(string, ...any)) (chaosAttempt, error) {
+
+	res := chaosAttempt{}
+	eng := event.New()
+	defer eng.Shutdown()
+	m := machine.Build(eng, machine.DefaultConfig(shape))
+	if err := m.TrainLinks(); err != nil {
+		return res, err
+	}
+	d := qdaemon.New(eng, m)
+	d.FS = fs
+
+	dec := lay.Dec
+	res.solution = lattice.NewFermionField(cfg.Global)
+	var firstErr error
+	prog := fmt.Sprintf("chaos-wilson-a%d", attempt)
+	d.LoadProgram(prog, func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			comm := qmp.New(ctx, lay.Fold)
+			gc := GridCoord(comm.Coord())
+			localG := ScatterGauge(gauge, dec, gc)
+			localB := ScatterFermion(b, dec, gc)
+			dw := NewDistWilson(ctx, comm, dec, localG, cfg.Mass, fermion.Double)
+			ss := DistSpace(ctx, comm, dec, fermion.WilsonKind, fermion.Double)
+			sp := distSpinorSpace(ss)
+			x := ScatterFermion(x0, dec, gc) // warm restart from the restored iterate
+			k := qos.FromCtx(ctx)
+			ck := solver.Checkpoint[*lattice.FermionField]{
+				Every: cfg.CheckpointEvery,
+				Save: func(iter int, cur *lattice.FermionField) {
+					var buf bytes.Buffer
+					if err := checkpoint.WriteSolverState(&buf, cur, uint32(baseIter+iter)); err != nil {
+						panic(err) // bytes.Buffer writes cannot fail
+					}
+					k.WriteFile(ctx.P, chunkName(attempt, baseIter+iter, rank), buf.Bytes())
+				},
+			}
+			r, err := solver.CGNECheckpointed(sp, dw.Apply, dw.ApplyDag, x, localB, cfg.Tol, cfg.MaxIter, ck)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			GatherFermion(res.solution, dec, gc, x)
+			if rank == 0 {
+				res.met.Iterations = r.Iterations
+				res.met.RelResidual = r.RelResidual
+				res.rec.Converged = r.Converged
+			}
+		}
+	})
+
+	var runErr error
+	eng.Spawn("chaos control", func(p *event.Proc) {
+		defer eng.Stop() // heartbeats and watchdog polls re-arm forever
+		if err := d.BootAll(p); err != nil {
+			runErr = err
+			return
+		}
+		d.EnableHeartbeats(cfg.Heartbeat)
+		wd := d.StartWatchdog(cfg.Watchdog)
+		wd.OnFailure = func(rec qdaemon.FailureRecord) { logf("attempt %d: watchdog: %s", attempt, rec) }
+		plan.OnFire = func(f faultplan.Fault) { logf("attempt %d: inject %s (t=%v)", attempt, f, eng.Now()) }
+		plan.Arm(eng, m, d.Net)
+		_, runErr = d.Run(p, fmt.Sprintf("chaos-a%d", attempt), prog)
+	})
+	if err := eng.RunAll(); err != nil {
+		return res, err
+	}
+
+	res.rec.Nodes = shape.Volume()
+	res.rec.RestoredIter = baseIter
+	res.rec.Iterations = res.met.Iterations
+	res.rec.EndedAt = eng.Now()
+	var abort *qdaemon.AbortError
+	switch {
+	case errors.As(runErr, &abort):
+		res.rec.Aborted = true
+		res.rec.Converged = false
+		res.rec.Failure = abort.Rec
+		res.healthyPow2 = d.Part.LargestPow2Partition()
+		return res, nil
+	case runErr != nil:
+		return res, runErr
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	res.met.SimTime = res.rec.EndedAt
+	return res, nil
+}
+
+// restoreNewest reassembles the newest complete checkpoint written by
+// any past attempt: latest attempt first, highest iteration first, and
+// only sets where every rank's chunk is present, CRC-valid, of solver
+// kind, shape-consistent, and stamped with the same iteration. Returns
+// a zero field and iteration 0 when nothing is restorable.
+func restoreNewest(fs map[string][]byte, past []attemptLayout, global lattice.Shape4) (*lattice.FermionField, int) {
+	x0 := lattice.NewFermionField(global)
+	for a := len(past) - 1; a >= 0; a-- {
+		al := past[a]
+		// Collect candidate iterations for this attempt from rank 0's
+		// chunks (a set without rank 0 is incomplete by definition).
+		best := -1
+		for iter := range iterationsOf(fs, a) {
+			if iter > best && completeSet(fs, a, iter, al, nil) {
+				best = iter
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		gather := func(rank int, local *lattice.FermionField) {
+			gc := GridCoord(al.lay.Fold.ToLogical(al.shape.CoordOf(rank)))
+			GatherFermion(x0, al.lay.Dec, gc, local)
+		}
+		completeSet(fs, a, best, al, gather)
+		return x0, best
+	}
+	return x0, 0
+}
+
+// iterationsOf lists the iterations attempt a checkpointed (by rank-0
+// chunk presence).
+func iterationsOf(fs map[string][]byte, a int) map[int]bool {
+	iters := map[int]bool{}
+	prefix := fmt.Sprintf("ckpt/chaos/a%d/i", a)
+	for name := range fs {
+		var iter, rank int
+		if _, err := fmt.Sscanf(name, prefix+"%06d/r%d", &iter, &rank); err == nil && rank == 0 {
+			iters[iter] = true
+		}
+	}
+	return iters
+}
+
+// completeSet verifies (and optionally gathers) one attempt+iteration
+// checkpoint set.
+func completeSet(fs map[string][]byte, a, iter int, al attemptLayout,
+	gather func(rank int, local *lattice.FermionField)) bool {
+	for rank := 0; rank < al.shape.Volume(); rank++ {
+		blob, ok := fs[chunkName(a, iter, rank)]
+		if !ok {
+			return false
+		}
+		local, it, err := checkpoint.ReadSolverState(bytes.NewReader(blob))
+		if err != nil || int(it) != iter || local.L != al.lay.Dec.Local {
+			return false
+		}
+		if gather != nil {
+			gather(rank, local)
+		}
+	}
+	return true
+}
+
+// computeDigest folds the whole run — attempt structure, failure
+// records with their detection timing, final numerics — into one
+// FNV-1a fingerprint. This is the chaos determinism currency: two runs
+// with the same -faultseed must agree here exactly.
+func (o *ChaosOutcome) computeDigest() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	b := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	mix(o.PlanDigest)
+	for _, a := range o.Attempts {
+		mix(uint64(a.Nodes))
+		mix(uint64(a.RestoredIter))
+		mix(uint64(a.Iterations))
+		mix(b(a.Aborted))
+		mix(b(a.Converged))
+		mix(uint64(a.Failure.Rank))
+		mix(uint64(a.Failure.Board))
+		mix(b(a.Failure.Crashed))
+		mix(uint64(a.Failure.DetectedAt))
+		mix(uint64(a.Failure.DetectLatency))
+		mix(uint64(a.EndedAt))
+	}
+	mix(b(o.Converged))
+	mix(math.Float64bits(o.RelResidual))
+	mix(uint64(o.SolutionCRC))
+	return h
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/faultplan"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/qdaemon"
+)
+
+// chaosConfig is the E16 scenario: an 8-node machine, a crash drawn to
+// land mid-solve, management-network drop/dup noise during boot, and a
+// transient link burst — all from one fault seed.
+func chaosConfig(faultSeed uint64) ChaosConfig {
+	return ChaosConfig{
+		Shape:           geom.MakeShape(2, 2, 2),
+		Global:          lattice.Shape4{4, 4, 4, 4},
+		Seed:            4001,
+		FaultSeed:       faultSeed,
+		Mass:            0.5,
+		Tol:             1e-8,
+		MaxIter:         400,
+		CheckpointEvery: 10,
+		Heartbeat:       100 * event.Microsecond,
+		Watchdog:        qdaemon.WatchdogConfig{Period: 500 * event.Microsecond, Misses: 3},
+		Spec: faultplan.Spec{
+			From:        2 * event.Millisecond,
+			To:          10 * event.Millisecond,
+			NodeCrashes: 1,
+			NetDrops:    2,
+			NetDups:     1,
+			LinkBursts:  1,
+		},
+	}
+}
+
+// TestChaosWilsonSurvivesNodeDeath drives the full recovery loop:
+// inject -> detect -> isolate -> restore -> converge, twice, and pins
+// bit-identical outcome digests (recovery-event timing included).
+func TestChaosWilsonSurvivesNodeDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run")
+	}
+	run := func() *ChaosOutcome {
+		out, err := RunChaosWilson(chaosConfig(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	o1 := run()
+	o2 := run()
+
+	if !o1.Converged {
+		t.Fatal("chaos run did not converge")
+	}
+	if len(o1.Attempts) < 2 {
+		t.Fatalf("%d attempts, want a restart", len(o1.Attempts))
+	}
+	first, last := o1.Attempts[0], o1.Attempts[len(o1.Attempts)-1]
+	if !first.Aborted {
+		t.Fatalf("first attempt not aborted: %s", first)
+	}
+	if first.Failure.DetectLatency <= 0 {
+		t.Fatalf("no detection latency recorded: %+v", first.Failure)
+	}
+	if last.Nodes >= first.Nodes {
+		t.Fatalf("no repartition: %d -> %d nodes", first.Nodes, last.Nodes)
+	}
+	if last.RestoredIter <= 0 {
+		t.Fatalf("restart did not restore a checkpoint: %s", last)
+	}
+	if !last.Converged {
+		t.Fatalf("final attempt did not converge: %s", last)
+	}
+	if o1.Digest != o2.Digest {
+		t.Fatalf("chaos digests diverged: %#x vs %#x\nrun1: %+v\nrun2: %+v",
+			o1.Digest, o2.Digest, o1.Attempts, o2.Attempts)
+	}
+	if o1.SolutionCRC != o2.SolutionCRC {
+		t.Fatalf("solution CRCs diverged: %#x vs %#x", o1.SolutionCRC, o2.SolutionCRC)
+	}
+}
+
+// A clean plan (no faults) must converge in one attempt — the chaos
+// harness itself adds no failure modes.
+func TestChaosWilsonNoFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run")
+	}
+	cfg := chaosConfig(1)
+	cfg.Spec = faultplan.Spec{}
+	out, err := RunChaosWilson(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Attempts) != 1 || !out.Converged || out.Attempts[0].Aborted {
+		t.Fatalf("clean run: %+v", out.Attempts)
+	}
+}

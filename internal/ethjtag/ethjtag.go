@@ -60,6 +60,26 @@ const (
 // frameOverheadBytes approximates Ethernet+IP+UDP framing.
 const frameOverheadBytes = 54
 
+// FaultVerdict is a fault injector's decision about one packet.
+type FaultVerdict int
+
+const (
+	// FaultNone delivers the packet normally.
+	FaultNone FaultVerdict = iota
+	// FaultDrop loses the packet in the switch fabric: it was
+	// serialized (the sender paid the line time) but never arrives.
+	FaultDrop
+	// FaultDup delivers the packet twice — the hub-retransmit glitch
+	// that makes at-least-once protocols earn their dedup logic.
+	FaultDup
+)
+
+// FaultFunc inspects a packet at launch (after serialization timing is
+// charged, before delivery is scheduled) and returns a verdict. It must
+// be deterministic in packet order: the fault plan derives decisions
+// from a counted stream, never from wall-clock or map iteration.
+type FaultFunc func(pkt *Packet) FaultVerdict
+
 // Network is the switched management Ethernet: a tree of 5-port hubs in
 // hardware, modelled as a store-and-forward switch with per-port
 // serialization and a fixed traversal latency.
@@ -69,6 +89,12 @@ type Network struct {
 	addrs   []Addr // attached addresses in ascending order, for deterministic broadcast
 	Latency event.Time
 	Dropped uint64 // packets to unknown destinations
+
+	// Fault, when set, judges every packet entering the switch; see
+	// FaultFunc. Drop and duplication counts are kept for telemetry.
+	Fault           FaultFunc
+	FaultDropped    uint64
+	FaultDuplicated uint64
 }
 
 // NewNetwork creates the management network.
@@ -159,6 +185,18 @@ func (p *Port) Send(pkt Packet) error {
 	payload := append([]byte(nil), pkt.Payload...)
 	pkt.Payload = payload
 	p.TxPackets++
+	verdict := FaultNone
+	if p.net.Fault != nil {
+		verdict = p.net.Fault(&pkt)
+	}
+	if verdict == FaultDrop {
+		// The line time was spent; the switch fabric ate the frame.
+		p.net.FaultDropped++
+		return nil
+	}
+	if verdict == FaultDup {
+		p.net.FaultDuplicated++
+	}
 	if pkt.Dst == Broadcast {
 		// Fan out in address order, not map order: delivery events at
 		// equal times dispatch in scheduling order, so a map-ordered
@@ -180,6 +218,9 @@ func (p *Port) Send(pkt Packet) error {
 		return fmt.Errorf("%w: %#x", ErrNoRoute, pkt.Dst)
 	}
 	p.net.eng.At(arrive, func() { dst.deliver(pkt) })
+	if verdict == FaultDup {
+		p.net.eng.At(arrive, func() { dst.deliver(pkt) })
+	}
 	return nil
 }
 
@@ -219,6 +260,13 @@ func (p *Port) OnPacket(fn func(Packet)) {
 
 // Recv blocks until a packet arrives.
 func (p *Port) Recv(proc *event.Proc) Packet { return p.rx.Get(proc) }
+
+// RecvTimeout blocks until a packet arrives or d elapses, reporting
+// whether a packet was returned. The qdaemon's retry machinery is built
+// on this: a lost reply surfaces as a timeout instead of a forever-hang.
+func (p *Port) RecvTimeout(proc *event.Proc, d event.Time) (Packet, bool) {
+	return p.rx.GetTimeout(proc, d)
+}
 
 // TryRecv returns a packet if one is queued.
 func (p *Port) TryRecv() (Packet, bool) { return p.rx.TryGet() }

@@ -313,6 +313,7 @@ type Proc struct {
 	resume chan struct{}
 	done   bool
 	daemon bool
+	killed bool
 }
 
 // procKilled is the panic value used to unwind parked processes when the
@@ -378,16 +379,46 @@ func (p *Proc) activate() {
 
 // yield hands control back to the engine and blocks until reactivated.
 func (p *Proc) yield(reason string) {
-	if p.eng.terminated {
+	if p.eng.terminated || p.killed {
 		panic(procKilled{})
 	}
 	p.eng.blocked[p] = reason
 	p.eng.park <- struct{}{}
 	<-p.resume
 	delete(p.eng.blocked, p)
-	if p.eng.terminated {
+	if p.eng.terminated || p.killed {
 		panic(procKilled{})
 	}
+}
+
+// Kill marks the process for unwinding: at its next resumption —
+// scheduled immediately if it is parked, its already-pending wake
+// otherwise — it panics out through its blocking call and the goroutine
+// exits, an engine Shutdown scoped to one process. Fault injection uses
+// it to model a node whose software dies mid-run: the process gets no
+// chance to run cleanup code at simulated times it would never have
+// reached.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	if _, parked := p.eng.blocked[p]; parked {
+		p.eng.At(p.eng.now, p.wake)
+	}
+}
+
+// Killed reports whether Kill has been called on the process.
+func (p *Proc) Killed() bool { return p.killed }
+
+// IsKillPanic reports whether a recovered panic value is the engine's
+// process-unwind signal (from Shutdown or Proc.Kill) rather than an
+// application panic. Code that recovers around process bodies must
+// either re-panic such values or treat them as cancellation — never as
+// an application error.
+func IsKillPanic(r any) bool {
+	_, ok := r.(procKilled)
+	return ok
 }
 
 // Name returns the process name given to Spawn.
@@ -423,7 +454,17 @@ func (p *Proc) wake() {
 // current waiters (at the current simulated time).
 type Gate struct {
 	eng     *Engine
-	waiters []*Proc
+	waiters []gateWaiter
+	gen     uint64 // stamps timed waits; see WaitUntil
+}
+
+// gateWaiter is one parked process. gen is nonzero for timed waits: the
+// deadline event identifies its waiter by generation, so a Fire (which
+// clears the list) or an earlier deadline leaves nothing for a stale
+// deadline event to find.
+type gateWaiter struct {
+	p   *Proc
+	gen uint64
 }
 
 // NewGate creates a gate on the engine.
@@ -431,8 +472,44 @@ func NewGate(e *Engine) *Gate { return &Gate{eng: e} }
 
 // Wait suspends p until the next Fire.
 func (g *Gate) Wait(p *Proc, what string) {
-	g.waiters = append(g.waiters, p)
+	g.waiters = append(g.waiters, gateWaiter{p: p})
 	p.yield(what)
+}
+
+// WaitUntil suspends p until the next Fire or until the deadline,
+// whichever comes first, reporting whether the gate fired (false means
+// the deadline passed). A deadline at or before the current time returns
+// false without parking. This is the primitive under every recovery
+// timeout: the deadline is a simulated-clock event, so timed waits are
+// as deterministic as untimed ones.
+func (g *Gate) WaitUntil(p *Proc, what string, deadline Time) bool {
+	if deadline <= g.eng.now {
+		return false
+	}
+	g.gen++
+	gen := g.gen
+	g.waiters = append(g.waiters, gateWaiter{p: p, gen: gen})
+	timedOut := false
+	g.eng.At(deadline, func() {
+		if g.removeWaiter(gen) {
+			timedOut = true
+			p.wake()
+		}
+	})
+	p.yield(what)
+	return !timedOut
+}
+
+// removeWaiter drops the timed waiter with the given generation,
+// reporting whether it was still parked on the gate.
+func (g *Gate) removeWaiter(gen uint64) bool {
+	for i := range g.waiters {
+		if g.waiters[i].gen == gen {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Fire wakes every process currently waiting on the gate.
@@ -440,7 +517,7 @@ func (g *Gate) Fire() {
 	ws := g.waiters
 	g.waiters = nil
 	for _, w := range ws {
-		g.eng.At(g.eng.now, w.wake)
+		g.eng.At(g.eng.now, w.p.wake)
 	}
 }
 
@@ -494,6 +571,22 @@ func (q *Queue[T]) Get(p *Proc) T {
 			return item
 		}
 		q.gate.Wait(p, "recv "+q.name)
+	}
+}
+
+// GetTimeout is Get with a deadline d from now: it returns the next item
+// and true, or the zero value and false once the deadline passes with the
+// queue still empty. A final poll after the deadline catches an item
+// delivered by an event at exactly the deadline timestamp.
+func (q *Queue[T]) GetTimeout(p *Proc, d Time) (T, bool) {
+	deadline := q.eng.now + d
+	for {
+		if item, ok := q.TryGet(); ok {
+			return item, true
+		}
+		if !q.gate.WaitUntil(p, "recv "+q.name, deadline) {
+			return q.TryGet()
+		}
 	}
 }
 

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qcdoc/internal/core"
+	"qcdoc/internal/event"
+	"qcdoc/internal/faultplan"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/qdaemon"
+)
+
+// E16Config is the canonical chaos scenario: an 8-node machine running
+// a distributed Wilson solve while the fault plan kills a node
+// mid-solve and peppers the management network. Everything — victim,
+// picosecond, detection, restart — derives from faultSeed.
+func E16Config(faultSeed uint64) core.ChaosConfig {
+	return core.ChaosConfig{
+		Shape:           geom.MakeShape(2, 2, 2),
+		Global:          lattice.Shape4{4, 4, 4, 4},
+		Seed:            4001,
+		FaultSeed:       faultSeed,
+		Mass:            0.5,
+		Tol:             1e-8,
+		MaxIter:         400,
+		CheckpointEvery: 10,
+		Heartbeat:       100 * event.Microsecond,
+		Watchdog:        qdaemon.WatchdogConfig{Period: 500 * event.Microsecond, Misses: 3},
+		Spec: faultplan.Spec{
+			From:        2 * event.Millisecond,
+			To:          10 * event.Millisecond,
+			NodeCrashes: 1,
+			NetDrops:    2,
+			NetDups:     1,
+			LinkBursts:  1,
+		},
+	}
+}
+
+// E16 survives a node death mid-solve: deterministic fault injection,
+// watchdog detection over the Ethernet/JTAG side network, daughterboard
+// isolation, checkpoint restore on a repartitioned machine, and
+// re-convergence — run twice from the same fault seed to prove the
+// whole recovery timeline is bit-reproducible (DESIGN.md §12).
+func E16() (Table, error) {
+	t := Table{
+		ID:     "E16",
+		Title:  "Chaos: survive a node death mid-solve (DESIGN.md §12)",
+		Header: []string{"quantity", "run 1", "run 2", "identical"},
+	}
+	run := func() (*core.ChaosOutcome, error) {
+		return core.RunChaosWilson(E16Config(16))
+	}
+	o1, err := run()
+	if err != nil {
+		return t, err
+	}
+	o2, err := run()
+	if err != nil {
+		return t, err
+	}
+	if len(o1.Attempts) < 2 || !o1.Attempts[0].Aborted {
+		return t, fmt.Errorf("E16: no recovery happened: %+v", o1.Attempts)
+	}
+	first := o1.Attempts[0]
+	last := o1.Attempts[len(o1.Attempts)-1]
+	f2 := o2.Attempts[0]
+	same := func(a, b any) string { return fmt.Sprint(a == b) }
+	t.Rows = append(t.Rows,
+		[]string{"attempts (restarts + final)",
+			fmt.Sprint(len(o1.Attempts)), fmt.Sprint(len(o2.Attempts)),
+			same(len(o1.Attempts), len(o2.Attempts))},
+		[]string{"node death detected",
+			first.Failure.String(), f2.Failure.String(), same(first.Failure, f2.Failure)},
+		[]string{"detect latency",
+			fmt.Sprint(first.Failure.DetectLatency), fmt.Sprint(f2.Failure.DetectLatency),
+			same(first.Failure.DetectLatency, f2.Failure.DetectLatency)},
+		[]string{"partition after isolation",
+			fmt.Sprintf("%d nodes", last.Nodes), fmt.Sprintf("%d nodes", o2.Attempts[len(o2.Attempts)-1].Nodes),
+			same(last.Nodes, o2.Attempts[len(o2.Attempts)-1].Nodes)},
+		[]string{"restored CG iteration",
+			fmt.Sprint(last.RestoredIter), fmt.Sprint(o2.Attempts[len(o2.Attempts)-1].RestoredIter),
+			same(last.RestoredIter, o2.Attempts[len(o2.Attempts)-1].RestoredIter)},
+		[]string{"converged / residual",
+			fmt.Sprintf("%v / %.2g", o1.Converged, o1.RelResidual),
+			fmt.Sprintf("%v / %.2g", o2.Converged, o2.RelResidual),
+			same(o1.RelResidual, o2.RelResidual)},
+		[]string{"solution CRC",
+			fmt.Sprintf("%#x", o1.SolutionCRC), fmt.Sprintf("%#x", o2.SolutionCRC),
+			same(o1.SolutionCRC, o2.SolutionCRC)},
+		[]string{"determinism digest",
+			fmt.Sprintf("%#x", o1.Digest), fmt.Sprintf("%#x", o2.Digest),
+			same(o1.Digest, o2.Digest)},
+	)
+	if o1.Digest != o2.Digest {
+		t.Notes = append(t.Notes, "ERROR: same fault seed, different recovery timelines!")
+	}
+	return t, nil
+}

@@ -118,6 +118,7 @@ func TestFunctionalSmall(t *testing.T) {
 		{"E4f", E4Functional},
 		{"E5f", E5Functional},
 		{"E13", E13},
+		{"E16", E16},
 	} {
 		tab, err := f.run()
 		if err != nil {

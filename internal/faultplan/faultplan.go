@@ -1,0 +1,336 @@
+// Package faultplan generates and injects deterministic machine-wide
+// fault schedules. A Plan is derived from a seed through the simulator's
+// counter-based RNG (internal/rng), so the same -faultseed produces the
+// same faults — kind, victim, link, picosecond — on every run; injection
+// is scheduled on the event engine, so detection and recovery timing are
+// part of the machine's reproducible event stream (the property E16
+// pins).
+//
+// The fault taxonomy covers the failure modes the QCDOC design defends
+// against (DESIGN.md §12): permanent serial-link death and burst errors
+// on the mesh wires (§2.2's parity/resend/retrain ladder), node crashes
+// and hangs (detected by the host watchdog over the Ethernet/JTAG side
+// network), and management-Ethernet packet loss and duplication
+// (absorbed by the qdaemon's RPC retry layer).
+package faultplan
+
+import (
+	"fmt"
+	"strings"
+
+	"qcdoc/internal/ethjtag"
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/hssl"
+	"qcdoc/internal/machine"
+	"qcdoc/internal/rng"
+)
+
+// Kind is a fault class.
+type Kind uint8
+
+const (
+	// LinkDeath permanently severs one mesh wire (hssl.Wire.Kill):
+	// retrains never restore it and the SCU escalates to link failure.
+	LinkDeath Kind = iota
+	// LinkBurst corrupts frames on one mesh wire for a bounded window,
+	// driving the parity/resend and retrain machinery without killing
+	// the link.
+	LinkBurst
+	// NodeCrash kills a node's software; its lifecycle state reads
+	// Crashed over JTAG (fast watchdog detection).
+	NodeCrash
+	// NodeHang freezes a node's software while its state still claims
+	// app-running; only the frozen heartbeat betrays it (slow
+	// detection).
+	NodeHang
+	// NetDrop loses one management-Ethernet request in the switch
+	// fabric; the qdaemon's RPC timeout/retry absorbs it.
+	NetDrop
+	// NetDup delivers one management-Ethernet request twice; idempotence
+	// checks and stale-reply discard absorb it.
+	NetDup
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkDeath:
+		return "link-death"
+	case LinkBurst:
+		return "link-burst"
+	case NodeCrash:
+		return "node-crash"
+	case NodeHang:
+		return "node-hang"
+	case NetDrop:
+		return "net-drop"
+	case NetDup:
+		return "net-dup"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Fault is one scheduled injection. At is relative to the Arm call (the
+// recovered-machine clock starts over on each restart, so absolute
+// times would not survive an attempt boundary).
+type Fault struct {
+	Kind Kind
+	At   event.Time
+	// Rank is the victim node (NodeCrash, NodeHang, LinkDeath,
+	// LinkBurst).
+	Rank int
+	// Link selects the victim wire on Rank (LinkDeath, LinkBurst).
+	Link geom.Link
+	// Dur bounds a LinkBurst's corruption window.
+	Dur event.Time
+	// Every is a LinkBurst's corruption stride (every Every-th frame).
+	Every uint64
+	// Nth selects the Nth management request sent after Arm (NetDrop,
+	// NetDup).
+	Nth uint64
+	// Spent marks a fault that has fired. A restarted attempt re-arms
+	// the same plan; spent faults stay down, so a node dies once, not
+	// once per attempt.
+	Spent bool
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case NetDrop, NetDup:
+		return fmt.Sprintf("%s request #%d", f.Kind, f.Nth)
+	case LinkDeath:
+		return fmt.Sprintf("%s node %d %v at %v", f.Kind, f.Rank, f.Link, f.At)
+	case LinkBurst:
+		return fmt.Sprintf("%s node %d %v at %v for %v (every %d frames)",
+			f.Kind, f.Rank, f.Link, f.At, f.Dur, f.Every)
+	}
+	return fmt.Sprintf("%s node %d at %v", f.Kind, f.Rank, f.At)
+}
+
+// Spec says how many faults of each class to draw and from what ranges.
+type Spec struct {
+	// From/To bound injection times (relative to Arm).
+	From, To event.Time
+
+	NodeCrashes int
+	NodeHangs   int
+	LinkDeaths  int
+	LinkBursts  int
+	NetDrops    int
+	NetDups     int
+
+	// BurstDur and BurstEvery parameterize LinkBursts; zero values take
+	// 50 us and every 13th frame.
+	BurstDur   event.Time
+	BurstEvery uint64
+	// NetSpan bounds the request index drawn for NetDrop/NetDup faults
+	// (they hit one of the first NetSpan management requests after Arm;
+	// zero takes 400, early enough to land in boot/launch traffic).
+	NetSpan uint64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.To <= s.From {
+		s.To = s.From + event.Millisecond
+	}
+	if s.BurstDur <= 0 {
+		s.BurstDur = 50 * event.Microsecond
+	}
+	if s.BurstEvery == 0 {
+		s.BurstEvery = 13
+	}
+	if s.NetSpan == 0 {
+		s.NetSpan = 400
+	}
+	return s
+}
+
+// Plan is a generated fault schedule.
+type Plan struct {
+	Seed   uint64
+	Faults []Fault
+	// OnFire, when set, observes each fault as it is injected.
+	OnFire func(Fault)
+}
+
+// Generate derives the fault schedule for the given seed: same seed,
+// same spec, same node count — bit-identical plan. Draw order is fixed
+// (kind by kind, each fault a fixed number of draws), so adding fault
+// classes to a spec never perturbs the draws of the classes before it.
+func Generate(seed uint64, spec Spec, nodes int) *Plan {
+	spec = spec.withDefaults()
+	s := rng.New(seed, 0xFA17)
+	span := uint64(spec.To - spec.From)
+	drawAt := func() event.Time { return spec.From + event.Time(s.Uint64()%span) }
+	drawRank := func() int { return s.Intn(nodes) }
+	drawLink := func() geom.Link { return geom.AllLinks()[s.Intn(geom.NumLinks)] }
+
+	p := &Plan{Seed: seed}
+	for i := 0; i < spec.NodeCrashes; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: NodeCrash, At: drawAt(), Rank: drawRank()})
+	}
+	for i := 0; i < spec.NodeHangs; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: NodeHang, At: drawAt(), Rank: drawRank()})
+	}
+	for i := 0; i < spec.LinkDeaths; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: LinkDeath, At: drawAt(), Rank: drawRank(), Link: drawLink()})
+	}
+	for i := 0; i < spec.LinkBursts; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: LinkBurst, At: drawAt(), Rank: drawRank(),
+			Link: drawLink(), Dur: spec.BurstDur, Every: spec.BurstEvery})
+	}
+	for i := 0; i < spec.NetDrops; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: NetDrop, Nth: 1 + s.Uint64()%spec.NetSpan})
+	}
+	for i := 0; i < spec.NetDups; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: NetDup, Nth: 1 + s.Uint64()%spec.NetSpan})
+	}
+	return p
+}
+
+// Arm schedules every unspent fault on the engine against the given
+// machine and management network. Call it once per attempt, after boot:
+// the node and link faults fire at their At offsets; the net faults
+// install a packet-fault hook counting management requests from this
+// moment. Faults mark themselves Spent when they fire, so re-arming the
+// same plan on a recovered machine replays only what has not yet
+// happened.
+//
+// Net faults target host-to-node requests only (Dst in node address
+// space): every such datagram rides the qdaemon's timeout/retry
+// machinery. Unsolicited node-to-host reports have no retransmission
+// layer — losing one is a real gap in the §3.1 protocol, not a
+// recoverable fault, and injecting it would just wedge the run.
+func (p *Plan) Arm(eng *event.Engine, m *machine.Machine, net *ethjtag.Network) {
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if f.Spent {
+			continue
+		}
+		switch f.Kind {
+		case NetDrop, NetDup:
+			continue // handled by the composite hook below
+		}
+		fault := *f
+		eng.After(f.At, func() {
+			if f.Spent {
+				return
+			}
+			f.Spent = true
+			p.inject(eng, m, fault)
+		})
+	}
+	p.armNetFaults(net)
+}
+
+// inject applies one node/link fault to the machine, clamping the
+// victim rank to the (possibly smaller, repartitioned) machine.
+func (p *Plan) inject(eng *event.Engine, m *machine.Machine, f Fault) {
+	rank := f.Rank % len(m.Nodes)
+	switch f.Kind {
+	case NodeCrash:
+		m.Nodes[rank].Crash()
+	case NodeHang:
+		m.Nodes[rank].Hang()
+	case LinkDeath:
+		m.Wire(rank, f.Link).Kill()
+	case LinkBurst:
+		w := m.Wire(rank, f.Link)
+		w.SetFault(hssl.FlipBitEvery(f.Every))
+		eng.After(f.Dur, func() { w.SetFault(nil) })
+	}
+	if p.OnFire != nil {
+		ff := f
+		ff.Rank = rank
+		p.OnFire(ff)
+	}
+}
+
+// armNetFaults installs one composite management-network fault hook
+// covering every unspent NetDrop/NetDup rule.
+func (p *Plan) armNetFaults(net *ethjtag.Network) {
+	if net == nil {
+		return // no management network attached (bare-machine runs)
+	}
+	var rules []*Fault
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if (f.Kind == NetDrop || f.Kind == NetDup) && !f.Spent {
+			rules = append(rules, f)
+		}
+	}
+	if len(rules) == 0 {
+		net.Fault = nil
+		return
+	}
+	var sent uint64
+	net.Fault = func(pkt *ethjtag.Packet) ethjtag.FaultVerdict {
+		if pkt.Dst < ethjtag.NodeAddrBase {
+			return ethjtag.FaultNone // node-to-host report: out of scope
+		}
+		sent++
+		for _, f := range rules {
+			if f.Spent || f.Nth != sent {
+				continue
+			}
+			f.Spent = true
+			if p.OnFire != nil {
+				p.OnFire(*f)
+			}
+			if f.Kind == NetDrop {
+				return ethjtag.FaultDrop
+			}
+			return ethjtag.FaultDup
+		}
+		return ethjtag.FaultNone
+	}
+}
+
+// Remaining counts unspent faults.
+func (p *Plan) Remaining() int {
+	n := 0
+	for i := range p.Faults {
+		if !p.Faults[i].Spent {
+			n++
+		}
+	}
+	return n
+}
+
+// Digest fingerprints the plan (FNV-1a over every fault's schedule
+// fields): two runs from the same seed must agree here before their
+// machines even boot.
+func (p *Plan) Digest() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(p.Seed)
+	for _, f := range p.Faults {
+		mix(uint64(f.Kind))
+		mix(uint64(f.At))
+		mix(uint64(f.Rank))
+		mix(uint64(f.Link.Dim)<<1 | uint64(f.Link.Dir))
+		mix(uint64(f.Dur))
+		mix(f.Every)
+		mix(f.Nth)
+	}
+	return h
+}
+
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault plan seed %d (digest %#x):\n", p.Seed, p.Digest())
+	for _, f := range p.Faults {
+		spent := ""
+		if f.Spent {
+			spent = " [spent]"
+		}
+		fmt.Fprintf(&b, "  %s%s\n", f, spent)
+	}
+	return b.String()
+}

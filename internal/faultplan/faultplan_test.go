@@ -1,0 +1,107 @@
+package faultplan
+
+import (
+	"testing"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/machine"
+	"qcdoc/internal/node"
+)
+
+func testSpec() Spec {
+	return Spec{
+		From:        event.Millisecond,
+		To:          5 * event.Millisecond,
+		NodeCrashes: 2,
+		NodeHangs:   1,
+		LinkDeaths:  1,
+		LinkBursts:  2,
+		NetDrops:    3,
+		NetDups:     1,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p1 := Generate(42, testSpec(), 16)
+	p2 := Generate(42, testSpec(), 16)
+	if p1.Digest() != p2.Digest() {
+		t.Fatalf("same seed, different digests: %#x vs %#x", p1.Digest(), p2.Digest())
+	}
+	if len(p1.Faults) != 10 {
+		t.Fatalf("%d faults, want 10", len(p1.Faults))
+	}
+	for i := range p1.Faults {
+		if p1.Faults[i] != p2.Faults[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, p1.Faults[i], p2.Faults[i])
+		}
+	}
+	if Generate(43, testSpec(), 16).Digest() == p1.Digest() {
+		t.Fatal("different seeds produced the same plan")
+	}
+	for _, f := range p1.Faults {
+		switch f.Kind {
+		case NetDrop, NetDup:
+			if f.Nth == 0 {
+				t.Fatalf("net fault with zero index: %+v", f)
+			}
+		default:
+			if f.At < event.Millisecond || f.At >= 5*event.Millisecond {
+				t.Fatalf("fault outside window: %+v", f)
+			}
+			if f.Rank < 0 || f.Rank >= 16 {
+				t.Fatalf("victim out of range: %+v", f)
+			}
+		}
+	}
+}
+
+// Arming a plan fires each fault once; re-arming on a fresh machine
+// (the recovery restart) replays only what has not yet happened.
+func TestArmSpentMarking(t *testing.T) {
+	spec := Spec{From: event.Millisecond, To: 2 * event.Millisecond, NodeCrashes: 1}
+	plan := Generate(7, spec, 4)
+
+	boot := func() (*event.Engine, *machine.Machine) {
+		eng := event.New()
+		m := machine.Build(eng, machine.DefaultConfig(geom.MakeShape(2, 2)))
+		if err := m.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		return eng, m
+	}
+	crashed := func(m *machine.Machine) int {
+		n := 0
+		for _, nd := range m.Nodes {
+			if nd.State() == node.Crashed {
+				n++
+			}
+		}
+		return n
+	}
+
+	eng1, m1 := boot()
+	plan.Arm(eng1, m1, nil)
+	if err := eng1.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := crashed(m1); got != 1 {
+		t.Fatalf("%d nodes crashed on first arm, want 1", got)
+	}
+	if plan.Remaining() != 0 {
+		t.Fatalf("%d faults unspent after firing", plan.Remaining())
+	}
+	eng1.Shutdown()
+
+	// The restarted machine re-arms the same plan: the crash is spent
+	// and must not repeat.
+	eng2, m2 := boot()
+	plan.Arm(eng2, m2, nil)
+	if err := eng2.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Shutdown()
+	if got := crashed(m2); got != 0 {
+		t.Fatalf("%d nodes crashed on re-arm, want 0 (fault already spent)", got)
+	}
+}

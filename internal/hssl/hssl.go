@@ -58,6 +58,7 @@ type Stats struct {
 	Frames    uint64
 	Bits      uint64
 	Corrupted uint64 // frames altered by the fault injector
+	Dropped   uint64 // frames launched into a dead wire, never delivered
 }
 
 // Delivery stages for the wire's pre-bound event handler. Each frame
@@ -89,6 +90,7 @@ type Wire struct {
 	seq       uint64
 	fault     FaultFunc
 	stats     Stats
+	dead      bool // permanent hardware failure; see Kill
 
 	// In-flight frames, a reusable ring: Send pushes at the tail, the
 	// delivery events pop the head. Arrival order equals send order (the
@@ -163,6 +165,18 @@ func (w *Wire) Trained() bool { return w.trained }
 // arrive regardless.
 func (w *Wire) Reset() { w.trained = false }
 
+// Kill permanently severs the wire: a failed driver, a broken trace.
+// The transmitter cannot tell — it keeps serializing, and Send keeps
+// accounting serialization time — but nothing ever reaches the far end
+// again. Retraining "succeeds" from the transmit side (the training
+// pattern leaves the pins) yet restores nothing, which is exactly what
+// forces the SCU's give-up escalation: retrains that never produce an
+// acknowledgement.
+func (w *Wire) Kill() { w.dead = true }
+
+// Dead reports whether the wire has been permanently severed.
+func (w *Wire) Dead() bool { return w.dead }
+
 // SerializeTime returns how long the given frame occupies the transmitter.
 func (w *Wire) SerializeTime(nBytes int) event.Time {
 	return w.clock.Cycles(int64(nBytes) * 8)
@@ -193,6 +207,14 @@ func (w *Wire) Send(data scupkt.Wire) (event.Time, error) {
 	w.seq++
 	w.stats.Frames++
 	w.stats.Bits += uint64(data.Len()) * 8
+
+	// A dead wire swallows the frame: serialization time was spent, the
+	// arrival never happens. No event is scheduled, so a machine whose
+	// traffic all dies here quiesces instead of spinning.
+	if w.dead {
+		w.stats.Dropped++
+		return arrive, nil
+	}
 
 	// Push first, then let the fault injector mutate the ring slot in
 	// place: taking the address of a stack frame here would defeat escape
@@ -307,6 +329,22 @@ func FlipBitEvery(n uint64) FaultFunc {
 	}
 	return func(f *Frame) bool {
 		if f.Seq%n != 0 || f.Len() == 0 {
+			return false
+		}
+		f.FlipBit(int(f.Seq))
+		return true
+	}
+}
+
+// CorruptBetween returns a FaultFunc modelling a burst error: every
+// frame launched while the simulated clock is in [from, to) is
+// corrupted. Sustained corruption starves the window protocol of
+// acknowledgement progress, which is what drives the SCU into link
+// re-training rather than the single-resend path.
+func CorruptBetween(eng *event.Engine, from, to event.Time) FaultFunc {
+	return func(f *Frame) bool {
+		now := eng.Now()
+		if now < from || now >= to || f.Len() == 0 {
 			return false
 		}
 		f.FlipBit(int(f.Seq))

@@ -33,6 +33,11 @@ const (
 	RunKernel
 	// AppRunning: a user application thread is executing.
 	AppRunning
+	// Crashed: the node's software died (fault injection or fatal error).
+	// Only the Ethernet/JTAG controller — pure hardware, alive from
+	// power-on (§2.3) — still answers, which is how the host's watchdog
+	// can observe the state of a node whose kernels are gone.
+	Crashed
 )
 
 func (s State) String() string {
@@ -45,6 +50,8 @@ func (s State) String() string {
 		return "run-kernel"
 	case AppRunning:
 		return "app-running"
+	case Crashed:
+		return "crashed"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -78,6 +85,8 @@ type Node struct {
 	appProc   *event.Proc
 	appDone   bool
 	appErr    error
+	hung      bool   // software wedged: state looks normal, nothing progresses
+	heartbeat uint64 // liveness counter the run kernel ticks; see TickHeartbeat
 
 	// brk is the bump-allocator frontier for node program data.
 	brk uint64
@@ -170,7 +179,10 @@ func (n *Node) ForceReady() {
 // RunProgram starts the application thread (§3.2: the run kernel has a
 // kernel thread and an application thread; no multitasking). The node
 // returns to RunKernel state when the program finishes. A panic in the
-// program is captured as the application error.
+// program is captured as the application error. A kill-panic (the
+// engine unwinding the thread after Crash/Hang fault injection) records
+// ErrCrashed and leaves the crashed/hung facade in place; a kill-panic
+// from engine shutdown re-panics so teardown proceeds as before.
 func (n *Node) RunProgram(name string, prog Program) error {
 	if n.state != RunKernel {
 		return fmt.Errorf("node %s: cannot run application in state %v", n.Name, n.state)
@@ -180,16 +192,78 @@ func (n *Node) RunProgram(name string, prog Program) error {
 	n.appErr = nil
 	n.appProc = n.Eng.Spawn(n.Name+" app "+name, func(p *event.Proc) {
 		defer func() {
-			if r := recover(); r != nil {
+			r := recover()
+			killed := r != nil && event.IsKillPanic(r)
+			switch {
+			case killed && (n.state == Crashed || n.hung):
+				n.appErr = ErrCrashed
+			case killed:
+				panic(r) // engine teardown, not an application outcome
+			case r != nil:
 				n.appErr = fmt.Errorf("node %s: application panic: %v", n.Name, r)
 			}
-			n.state = RunKernel
+			if !n.hung && n.state == AppRunning {
+				n.state = RunKernel
+			}
 			n.appDone = true
 		}()
 		prog(&Ctx{P: p, N: n})
 	})
 	return nil
 }
+
+// ErrCrashed is the application error recorded when the node's software
+// was lost to an injected crash or hang rather than finishing.
+var ErrCrashed = fmt.Errorf("node: application lost to a crash fault")
+
+// Crash models the node's software dying instantly: the application
+// thread is unwound, the lifecycle state becomes Crashed, and nothing
+// software-driven on this node runs again — no RPC replies, no
+// heartbeat ticks. The SCU and the Ethernet/JTAG controller are
+// hardware and keep answering, so neighbours' window protocols and the
+// host's watchdog observe the death rather than being told about it.
+func (n *Node) Crash() {
+	if n.state == Crashed {
+		return
+	}
+	n.state = Crashed
+	n.hung = false
+	if n.appProc != nil {
+		n.appProc.Kill()
+	}
+}
+
+// Hang models the nastier failure: the software wedges. The lifecycle
+// state still reads AppRunning — a status peek looks healthy — but the
+// application thread is gone and the heartbeat counter freezes, which
+// is exactly the case the watchdog's stale-heartbeat detection exists
+// for.
+func (n *Node) Hang() {
+	if n.state == Crashed || n.hung {
+		return
+	}
+	n.hung = true
+	if n.appProc != nil {
+		n.appProc.Kill()
+	}
+}
+
+// Alive reports whether the node's software is still running (neither
+// crashed nor hung). Hardware — SCU, Ethernet/JTAG — stays up
+// regardless.
+func (n *Node) Alive() bool { return n.state != Crashed && !n.hung }
+
+// TickHeartbeat advances the liveness counter. The run kernel calls it
+// on a periodic sim-clock timer; a crashed or hung node's counter stays
+// frozen, which the host watchdog reads through the telemetry window.
+func (n *Node) TickHeartbeat() {
+	if n.Alive() {
+		n.heartbeat++
+	}
+}
+
+// Heartbeat returns the liveness counter.
+func (n *Node) Heartbeat() uint64 { return n.heartbeat }
 
 // AppDone reports whether the last application finished, and its error.
 func (n *Node) AppDone() (bool, error) { return n.appDone, n.appErr }

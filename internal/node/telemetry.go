@@ -127,18 +127,22 @@ func (c *Counters) Each(emit func(name string, v uint64)) {
 //	word 1                      node lifecycle state
 //	word 2                      number of links (geom.NumLinks)
 //	word 3                      counters per link (scu.NumStats())
+//	word 4                      heartbeat counter (see Node.TickHeartbeat)
+//	word 5                      failed-link bitmask (scu.FailedLinks)
 //	words 8..8+NumStats         aggregate SCU stats, table order
 //	words 32+L*16 .. +NumStats  per-link SCU stats for link index L
 const (
 	TelemetryBase uint64 = 0xFFFF_0000_0000_0000
 
-	TelemMagicWord  = 0
-	TelemStateWord  = 1
-	TelemLinksWord  = 2
-	TelemFieldsWord = 3
-	TelemAggWord    = 8
-	TelemLinkWord   = 32
-	TelemLinkStride = 16
+	TelemMagicWord     = 0
+	TelemStateWord     = 1
+	TelemLinksWord     = 2
+	TelemFieldsWord    = 3
+	TelemHeartbeatWord = 4
+	TelemFailedWord    = 5
+	TelemAggWord       = 8
+	TelemLinkWord      = 32
+	TelemLinkStride    = 16
 )
 
 // TelemetryMagic identifies the window ("QCDTELEM" truncated to what
@@ -165,6 +169,10 @@ func (n *Node) ReadTelemetryWord(addr uint64) uint64 {
 		return uint64(geom.NumLinks)
 	case TelemFieldsWord:
 		return uint64(scu.NumStats())
+	case TelemHeartbeatWord:
+		return n.heartbeat
+	case TelemFailedWord:
+		return n.SCU.FailedLinks()
 	}
 	if word >= TelemAggWord && word < TelemAggWord+scu.NumStats() {
 		s := n.SCU.Stats()

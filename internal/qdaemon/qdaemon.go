@@ -17,6 +17,7 @@ import (
 	"qcdoc/internal/machine"
 	"qcdoc/internal/node"
 	"qcdoc/internal/qos"
+	"qcdoc/internal/telemetry"
 )
 
 // BootKernelPackets is the approximate number of Ethernet/JTAG packets
@@ -53,10 +54,23 @@ type Daemon struct {
 	// physical connection to QCDOC is via multiple Gigabit Ethernet
 	// links"): Ctl carries synchronous request/reply traffic (JTAG
 	// commands, kernel loads, job launches), Host receives asynchronous
-	// node events (completions, stdout), and NFS serves the file shim.
+	// node events (completions, stdout), NFS serves the file shim, and
+	// Mon is the watchdog's dedicated side-network port (so health
+	// polls never interleave with the control program's exchanges).
 	Ctl  *ethjtag.Port
 	Host *ethjtag.Port
 	NFS  *ethjtag.Port
+	Mon  *ethjtag.Port
+
+	// RPC is the request/reply retry policy (see retry.go); zero fields
+	// take defaults.
+	RPC      RPCConfig
+	rpcStats RPCStats
+
+	// Part tracks daughterboard health: jobs launch only on
+	// non-isolated ranks (see partition.go).
+	Part *PartitionMap
+	wd   *Watchdog
 
 	Kernels []*qos.Kernel
 	JTAGs   []*ethjtag.JTAGController
@@ -70,6 +84,7 @@ type Daemon struct {
 	doneGate  *event.Gate
 	hwReports map[string][]string
 	activeJob string
+	abortErr  error
 
 	// fold is the current partition mapping (§3.1: "a user requests that
 	// the qdaemon remap their partition to a dimensionality between one
@@ -93,11 +108,21 @@ func New(eng *event.Engine, m *machine.Machine) *Daemon {
 		doneCount: map[string]int{},
 		hwReports: map[string][]string{},
 		fold:      geom.IdentityFold(m.Cfg.Shape),
+		RPC:       DefaultRPCConfig(),
+		Part:      NewPartitionMap(len(m.Nodes)),
 	}
 	d.doneGate = event.NewGate(eng)
 	d.Host = d.Net.Attach(ethjtag.HostAddr, ethjtag.HostEthernetBps)
 	d.NFS = d.Net.Attach(ethjtag.HostAddr+1, ethjtag.HostEthernetBps)
 	d.Ctl = d.Net.Attach(ethjtag.HostAddr+2, ethjtag.HostEthernetBps)
+	d.Mon = d.Net.Attach(ethjtag.HostAddr+3, ethjtag.HostEthernetBps)
+	m.Reg.RegisterCounters("qdaemon/rpc", func(emit telemetry.EmitFunc) {
+		emit("exchanges", d.rpcStats.Exchanges)
+		emit("timeouts", d.rpcStats.Timeouts)
+		emit("retries", d.rpcStats.Retries)
+		emit("stale", d.rpcStats.Stale)
+		emit("failures", d.rpcStats.Failures)
+	})
 	for r, n := range m.Nodes {
 		eth := d.Net.Attach(ethjtag.NodeEthAddr(r), ethjtag.NodeEthernetBps)
 		jp := d.Net.Attach(ethjtag.NodeJTAGAddr(r), ethjtag.NodeEthernetBps)
@@ -193,48 +218,74 @@ func (d *Daemon) nfsLoop(p *event.Proc) {
 // happens at power-on (machine.TrainLinks must have run); then, per
 // node: ~100 Ethernet/JTAG packets of boot-kernel code, the JTAG start
 // command, a status check, ~100 run-kernel packets over the standard
-// Ethernet, and the kernel-start handshake.
+// Ethernet, and the kernel-start handshake. Every request/reply step
+// rides the retry machinery (retry.go): a single lost datagram costs a
+// timeout and a retransmission, not a wedged boot. Ranks already
+// isolated by the partition map are skipped.
 func (d *Daemon) BootAll(p *event.Proc) error {
 	for r := range d.M.Nodes {
-		jaddr := ethjtag.NodeJTAGAddr(r)
-		// Boot kernel over Ethernet/JTAG.
-		for i := 0; i < BootKernelPackets; i++ {
-			if err := d.Ctl.Send(ethjtag.Packet{
-				Dst: jaddr, Port: ethjtag.PortJTAG,
-				Payload: ethjtag.EncodeJTAG(ethjtag.OpLoadBoot, uint64(i*8), 0x60000000+uint64(i)),
-			}); err != nil {
-				return err
-			}
-			d.Ctl.Recv(p) // ack
+		if d.Part.Isolated(r) {
+			continue
 		}
-		if err := d.Ctl.Send(ethjtag.Packet{
-			Dst: jaddr, Port: ethjtag.PortJTAG,
-			Payload: ethjtag.EncodeJTAG(ethjtag.OpStartBoot, 0, 0),
-		}); err != nil {
+		if err := d.bootNode(p, r); err != nil {
 			return err
-		}
-		rep := d.Ctl.Recv(p)
-		if _, _, code, _ := ethjtag.DecodeJTAG(rep.Payload); code != 0 {
-			return fmt.Errorf("qdaemon: node %d refused boot", r)
-		}
-		// Run kernel over the standard Ethernet.
-		eaddr := ethjtag.NodeEthAddr(r)
-		img := make([]byte, qos.RunKernelPacketBytes)
-		for i := 0; i < qos.RunKernelPackets; i++ {
-			if err := d.Ctl.Send(ethjtag.Packet{Dst: eaddr, Port: ethjtag.PortBoot, Payload: img}); err != nil {
-				return err
-			}
-		}
-		if err := d.Ctl.Send(ethjtag.Packet{Dst: eaddr, Port: ethjtag.PortBoot, Payload: []byte("START")}); err != nil {
-			return err
-		}
-		rep = d.Ctl.Recv(p)
-		if string(rep.Payload) != "ok" {
-			return fmt.Errorf("qdaemon: node %d run kernel: %s", r, rep.Payload)
 		}
 	}
 	d.M.MarkBooted()
 	d.booted = true
+	return nil
+}
+
+// bootNode brings one node from reset to run-kernel state.
+func (d *Daemon) bootNode(p *event.Proc, r int) error {
+	// Boot kernel over Ethernet/JTAG: each code word is one reliable
+	// exchange (before retry.go, a lost ack deadlocked the boot here).
+	for i := 0; i < BootKernelPackets; i++ {
+		if _, err := d.jtagExchange(p, d.Ctl, r, ethjtag.OpLoadBoot, uint64(i*8), 0x60000000+uint64(i), true); err != nil {
+			return err
+		}
+	}
+	code, err := d.jtagExchange(p, d.Ctl, r, ethjtag.OpStartBoot, 0, 0, false)
+	if err != nil {
+		return err
+	}
+	if code != 0 {
+		// OpStartBoot is not idempotent: when an earlier attempt's reply
+		// was lost, the retransmission finds the node already out of
+		// reset and is refused. The idempotent status op disambiguates a
+		// genuine refusal from a lost ack.
+		state, serr := d.jtagExchange(p, d.Ctl, r, ethjtag.OpStatus, 0, 0, false)
+		if serr != nil {
+			return serr
+		}
+		if node.State(state) == node.Reset {
+			return fmt.Errorf("qdaemon: node %d refused boot", r)
+		}
+	}
+	// Run kernel over the standard Ethernet: the image packets are
+	// fire-and-forget UDP; only the final START is a handshake.
+	eaddr := ethjtag.NodeEthAddr(r)
+	img := make([]byte, qos.RunKernelPacketBytes)
+	for i := 0; i < qos.RunKernelPackets; i++ {
+		if err := d.Ctl.Send(ethjtag.Packet{Dst: eaddr, Port: ethjtag.PortBoot, Payload: img}); err != nil {
+			return err
+		}
+	}
+	rep, err := d.exchange(p, d.Ctl, ethjtag.Packet{Dst: eaddr, Port: ethjtag.PortBoot, Payload: []byte("START")},
+		fmt.Sprintf("node %d run-kernel start", r),
+		func(rep ethjtag.Packet) bool { return rep.Src == eaddr && rep.Port == ethjtag.PortBoot })
+	if err != nil {
+		return err
+	}
+	if string(rep.Payload) != "ok" {
+		// A START retransmitted after a lost "ok" is refused ("run
+		// kernel start in state run-kernel"); the status RPC confirms
+		// whether the kernel actually installed.
+		st, serr := d.statusExchange(p, r)
+		if serr != nil || !strings.Contains(st, "state=run-kernel") {
+			return fmt.Errorf("qdaemon: node %d run kernel: %s", r, rep.Payload)
+		}
+	}
 	return nil
 }
 
@@ -314,45 +365,121 @@ func FoldToDims(shape geom.Shape, dims int) (*geom.Fold, error) {
 	return geom.NewFold(shape, axes)
 }
 
-// Run launches a loaded program on every node and blocks until all
-// nodes report completion, returning the per-node hardware reports.
+// Run launches a loaded program on every non-isolated node and blocks
+// until all of them report completion, returning the per-node hardware
+// reports. Launch requests are pipelined (all sent, then acks
+// collected) with timeout-and-retransmit on the stragglers; a node that
+// reports the program already running — the signature of a retried
+// launch whose first ack was lost — counts as launched. If the
+// watchdog detects a node death while the job is in flight, Run returns
+// its *AbortError instead of waiting forever for a completion that
+// cannot come.
 func (d *Daemon) Run(p *event.Proc, job, program string) ([]string, error) {
 	if !d.booted {
 		return nil, fmt.Errorf("qdaemon: machine not booted")
 	}
 	d.activeJob = job
-	for r := range d.M.Nodes {
-		if err := d.Ctl.Send(ethjtag.Packet{
+	d.abortErr = nil
+	ranks := d.Part.HealthyRanks()
+	launch := func(r int) error {
+		return d.Ctl.Send(ethjtag.Packet{
 			Dst: ethjtag.NodeEthAddr(r), Port: ethjtag.PortRPC,
 			Payload: []byte(fmt.Sprintf("run %s %s", job, program)),
-		}); err != nil {
+		})
+	}
+	pending := map[ethjtag.Addr]int{}
+	for _, r := range ranks {
+		if err := launch(r); err != nil {
 			return nil, err
 		}
+		pending[ethjtag.NodeEthAddr(r)] = r
 	}
-	// Consume the launch acks on the control port.
-	for range d.M.Nodes {
-		ack := d.Ctl.Recv(p)
-		if !strings.HasPrefix(string(ack.Payload), "ok") {
-			return nil, fmt.Errorf("qdaemon: launch failed: %s", ack.Payload)
+	cfg := d.RPC.withDefaults()
+	timeout := cfg.Timeout
+	for attempt := 1; len(pending) > 0; {
+		ack, ok := d.Ctl.RecvTimeout(p, timeout)
+		if !ok {
+			d.rpcStats.Timeouts++
+			attempt++
+			if attempt > cfg.Retries {
+				d.rpcStats.Failures++
+				return nil, fmt.Errorf("qdaemon: launch %s: %d nodes never acknowledged", job, len(pending))
+			}
+			// Retransmit to the stragglers, in rank order.
+			for _, r := range ranks {
+				if _, still := pending[ethjtag.NodeEthAddr(r)]; still {
+					d.rpcStats.Retries++
+					if err := launch(r); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if timeout *= 2; timeout > cfg.MaxTimeout {
+				timeout = cfg.MaxTimeout
+			}
+			continue
+		}
+		r, want := pending[ack.Src]
+		if !want || ack.Port != ethjtag.PortRPC {
+			d.rpcStats.Stale++
+			continue
+		}
+		pl := string(ack.Payload)
+		switch {
+		case strings.HasPrefix(pl, "ok"):
+			d.rpcStats.Exchanges++
+			delete(pending, ack.Src)
+		case strings.Contains(pl, "cannot run application in state app-running"):
+			// The first launch took; its ack was lost and the retry
+			// found the application already running.
+			d.rpcStats.Exchanges++
+			delete(pending, ack.Src)
+		default:
+			return nil, fmt.Errorf("qdaemon: launch failed on node %d: %s", r, pl)
 		}
 	}
-	// Completions arrive asynchronously on the event port.
-	want := len(d.M.Nodes)
+	// Completions arrive asynchronously on the event port; an abort
+	// (watchdog-detected death) fires the same gate.
+	want := len(ranks)
 	for d.doneCount[job] < want {
+		if d.abortErr != nil {
+			return nil, d.abortErr
+		}
 		d.doneGate.Wait(p, "job "+job)
+	}
+	if d.abortErr != nil {
+		return nil, d.abortErr
 	}
 	return d.hwReports[job], nil
 }
 
+// AbortJob makes a blocked Run return err instead of waiting for
+// completions that will never arrive. The watchdog calls it on death
+// detection; idempotent, and a no-op when no job is active.
+func (d *Daemon) AbortJob(err error) {
+	if d.activeJob == "" || d.abortErr != nil {
+		return
+	}
+	d.abortErr = err
+	d.doneGate.Fire()
+}
+
 // Status queries one node's kernel over RPC.
 func (d *Daemon) Status(p *event.Proc, rank int) (string, error) {
-	err := d.Ctl.Send(ethjtag.Packet{
-		Dst: ethjtag.NodeEthAddr(rank), Port: ethjtag.PortRPC,
-		Payload: []byte("status"),
+	return d.statusExchange(p, rank)
+}
+
+// statusExchange is the reliable status RPC: the reply must come from
+// the queried node and look like a status line.
+func (d *Daemon) statusExchange(p *event.Proc, rank int) (string, error) {
+	eaddr := ethjtag.NodeEthAddr(rank)
+	rep, err := d.exchange(p, d.Ctl, ethjtag.Packet{
+		Dst: eaddr, Port: ethjtag.PortRPC, Payload: []byte("status"),
+	}, fmt.Sprintf("node %d status", rank), func(rep ethjtag.Packet) bool {
+		return rep.Src == eaddr && rep.Port == ethjtag.PortRPC && strings.HasPrefix(string(rep.Payload), "state=")
 	})
 	if err != nil {
 		return "", err
 	}
-	rep := d.Ctl.Recv(p)
 	return string(rep.Payload), nil
 }

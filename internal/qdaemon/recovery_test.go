@@ -1,0 +1,233 @@
+package qdaemon
+
+import (
+	"errors"
+	"testing"
+
+	"qcdoc/internal/ethjtag"
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/node"
+)
+
+// dropNth returns a FaultFunc that drops exactly the nth packet (1-based)
+// matching pred, and nothing else.
+func dropNth(n int, pred func(*ethjtag.Packet) bool) ethjtag.FaultFunc {
+	seen := 0
+	return func(pkt *ethjtag.Packet) ethjtag.FaultVerdict {
+		if !pred(pkt) {
+			return ethjtag.FaultNone
+		}
+		seen++
+		if seen == n {
+			return ethjtag.FaultDrop
+		}
+		return ethjtag.FaultNone
+	}
+}
+
+// isJTAGReply matches Ethernet/JTAG controller replies (node JTAG port ->
+// host): the acks whose loss used to wedge BootAll forever on a bare
+// Recv.
+func isJTAGReply(pkt *ethjtag.Packet) bool {
+	return pkt.Port == ethjtag.PortJTAG && pkt.Src >= ethjtag.NodeAddrBase
+}
+
+// The boot path's regression for the lost-ack deadlock: drop exactly one
+// boot-load ack; the exchange times out, retransmits, and the boot
+// completes. Before the retry primitive this test hung forever.
+func TestBootSurvivesDroppedAck(t *testing.T) {
+	_, d, run := harness(t, geom.MakeShape(2, 2))
+	d.Net.Fault = dropNth(1, isJTAGReply)
+	var bootErr error
+	run(func(p *event.Proc) { bootErr = d.BootAll(p) })
+	if bootErr != nil {
+		t.Fatal(bootErr)
+	}
+	for r, n := range d.M.Nodes {
+		if n.State() != node.RunKernel {
+			t.Fatalf("node %d state %v", r, n.State())
+		}
+	}
+	st := d.RPCStats()
+	if st.Timeouts != 1 || st.Retries != 1 {
+		t.Fatalf("rpc stats %+v, want exactly one timeout and one retry", st)
+	}
+	if st.Failures != 0 {
+		t.Fatalf("rpc stats %+v: exchange reported failure", st)
+	}
+	if d.Net.FaultDropped != 1 {
+		t.Fatalf("dropped %d packets, want 1", d.Net.FaultDropped)
+	}
+	// The retransmitted OpLoadBoot re-executed on the node: one extra
+	// boot word on that node, none elsewhere.
+	if got := d.M.Nodes[0].BootWords(); got != BootKernelPackets+1 {
+		t.Fatalf("node 0 boot words %d, want %d", got, BootKernelPackets+1)
+	}
+}
+
+// Dropping the non-idempotent OpStartBoot ack exercises the status
+// disambiguation: the retransmitted start is refused (the node is
+// already out of reset), and the follow-up OpStatus proves the first
+// start took.
+func TestBootSurvivesDroppedStartAck(t *testing.T) {
+	_, d, run := harness(t, geom.MakeShape(2))
+	// Reply 101 from a node's JTAG port is the OpStartBoot ack (after
+	// 100 load acks).
+	d.Net.Fault = dropNth(101, isJTAGReply)
+	var bootErr error
+	run(func(p *event.Proc) { bootErr = d.BootAll(p) })
+	if bootErr != nil {
+		t.Fatal(bootErr)
+	}
+	if st := d.M.Nodes[0].State(); st != node.RunKernel {
+		t.Fatalf("node 0 state %v", st)
+	}
+	if st := d.RPCStats(); st.Timeouts == 0 {
+		t.Fatalf("rpc stats %+v: dropped start ack cost no timeout", st)
+	}
+}
+
+// A lost launch ack must not wedge Run: the launch is retransmitted, the
+// kernel refuses the duplicate ("already running"), and Run counts the
+// node as launched.
+func TestRunSurvivesDroppedLaunchAck(t *testing.T) {
+	_, d, run := harness(t, geom.MakeShape(2, 2))
+	d.LoadProgram("napper", func(rank int) node.Program {
+		return func(ctx *node.Ctx) { ctx.P.Sleep(5 * event.Millisecond) }
+	})
+	var reports []string
+	var runErr error
+	run(func(p *event.Proc) {
+		if err := d.BootAll(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// Drop the first "ok <job>" launch ack (an RPC-port reply from a
+		// node Ethernet address to the host).
+		d.Net.Fault = dropNth(1, func(pkt *ethjtag.Packet) bool {
+			return pkt.Port == ethjtag.PortRPC && pkt.Src >= ethjtag.NodeAddrBase
+		})
+		reports, runErr = d.Run(p, "j", "napper")
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("%d completion reports, want 4", len(reports))
+	}
+	// Exactly one ack was dropped, so the timeout retransmits to exactly
+	// one straggler.
+	if st := d.RPCStats(); st.Timeouts == 0 || st.Retries == 0 {
+		t.Fatalf("rpc stats %+v: launch retry path not exercised", st)
+	}
+}
+
+// chaosResult captures the observable outcome of one watchdog scenario
+// for determinism comparison.
+type chaosResult struct {
+	rec      FailureRecord
+	killedAt event.Time
+	isolated bool
+	healthy  int
+	executed uint64
+	endedAt  event.Time
+}
+
+// runWatchdogScenario boots a 2x2x2 machine with heartbeats and the
+// watchdog armed, launches a long sleeper job, injects kill(victim) at
+// the given time, and returns the detection outcome.
+func runWatchdogScenario(t *testing.T, victim int, at event.Time, kill func(*node.Node)) chaosResult {
+	t.Helper()
+	eng, d, run := harness(t, geom.MakeShape(2, 2, 2))
+	d.LoadProgram("sleeper", func(rank int) node.Program {
+		return func(ctx *node.Ctx) { ctx.P.Sleep(50 * event.Millisecond) }
+	})
+	var res chaosResult
+	var runErr error
+	run(func(p *event.Proc) {
+		if err := d.BootAll(p); err != nil {
+			t.Error(err)
+			return
+		}
+		d.EnableHeartbeats(100 * event.Microsecond)
+		d.StartWatchdog(WatchdogConfig{Period: 500 * event.Microsecond, Misses: 3})
+		eng.After(at, func() {
+			res.killedAt = eng.Now()
+			kill(d.M.Nodes[victim])
+		})
+		_, runErr = d.Run(p, "job", "sleeper")
+		eng.Stop() // survivors' heartbeats would tick forever
+	})
+	var abort *AbortError
+	if !errors.As(runErr, &abort) {
+		t.Fatalf("Run returned %v, want *AbortError", runErr)
+	}
+	res.rec = abort.Rec
+	res.isolated = d.Part.Isolated(victim)
+	res.healthy = d.Part.HealthyCount()
+	res.executed = eng.Executed()
+	res.endedAt = eng.Now()
+	return res
+}
+
+// A crashed node's lifecycle state reads Crashed over JTAG: the watchdog
+// detects it on the next poll, isolates the daughterboard (both of its
+// nodes), and aborts the job — identically across two runs.
+func TestWatchdogDetectsCrash(t *testing.T) {
+	run := func() chaosResult {
+		return runWatchdogScenario(t, 3, 2*event.Millisecond, (*node.Node).Crash)
+	}
+	r1 := run()
+	r2 := run()
+
+	if r1.rec.Rank != 3 || !r1.rec.Crashed {
+		t.Fatalf("detected %+v, want crash of rank 3", r1.rec)
+	}
+	if r1.rec.Board != BoardOf(3) {
+		t.Fatalf("failed board %d, want %d", r1.rec.Board, BoardOf(3))
+	}
+	if !r1.isolated {
+		t.Fatal("victim not isolated from the partition map")
+	}
+	// The whole daughterboard goes: rank 2 (the board partner) too.
+	if r1.healthy != 6 {
+		t.Fatalf("healthy ranks %d, want 6 (one daughterboard isolated)", r1.healthy)
+	}
+	if r1.rec.DetectedAt <= r1.killedAt {
+		t.Fatalf("detected at %v, before the crash at %v", r1.rec.DetectedAt, r1.killedAt)
+	}
+	// Crash detection is a state read: at most one poll period plus the
+	// peek round trips after injection.
+	if gap := r1.rec.DetectedAt - r1.killedAt; gap > event.Millisecond {
+		t.Fatalf("crash detection took %v after the kill", gap)
+	}
+	if r1 != r2 {
+		t.Fatalf("watchdog runs diverged:\n  %+v\n  %+v", r1, r2)
+	}
+}
+
+// A hung node still reports app-running over JTAG; only the frozen
+// heartbeat betrays it. Detection therefore takes Misses poll periods.
+func TestWatchdogDetectsHang(t *testing.T) {
+	run := func() chaosResult {
+		return runWatchdogScenario(t, 5, 2*event.Millisecond, (*node.Node).Hang)
+	}
+	r1 := run()
+	r2 := run()
+
+	if r1.rec.Rank != 5 || r1.rec.Crashed {
+		t.Fatalf("detected %+v, want hang of rank 5", r1.rec)
+	}
+	if !r1.isolated || r1.healthy != 6 {
+		t.Fatalf("isolation wrong: isolated=%v healthy=%d", r1.isolated, r1.healthy)
+	}
+	// Three consecutive stale polls at 500 us each: latency covers at
+	// least the miss window.
+	if r1.rec.DetectLatency < 1500*event.Microsecond {
+		t.Fatalf("hang detect latency %v, want >= 3 poll periods", r1.rec.DetectLatency)
+	}
+	if r1 != r2 {
+		t.Fatalf("watchdog runs diverged:\n  %+v\n  %+v", r1, r2)
+	}
+}

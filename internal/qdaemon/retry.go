@@ -1,0 +1,137 @@
+package qdaemon
+
+// Host-side RPC reliability. The management network is UDP (§2.3): a
+// request or its reply can be lost, and before this layer existed a
+// single lost ack wedged the boot protocol forever on a bare Recv. Every
+// synchronous request/reply the daemon performs now goes through
+// exchange: a per-packet timeout on the simulation clock, bounded
+// exponential backoff between retransmissions, and a reply matcher that
+// discards stale datagrams (late replies to an earlier attempt). All
+// timers are event-engine timers, so a run with a given fault plan is
+// bit-reproducible.
+
+import (
+	"fmt"
+
+	"qcdoc/internal/ethjtag"
+	"qcdoc/internal/event"
+)
+
+// RPCConfig parameterizes the daemon's request/reply retry policy.
+type RPCConfig struct {
+	// Timeout is the initial per-attempt reply timeout. It must cover a
+	// worst-case benign round trip — including the ~450 us serialization
+	// backlog the run-kernel image download leaves on the host port —
+	// so the no-fault packet stream carries no retransmissions.
+	Timeout event.Time
+	// MaxTimeout caps the exponential backoff.
+	MaxTimeout event.Time
+	// Retries is the total number of attempts before giving up.
+	Retries int
+}
+
+// DefaultRPCConfig returns the daemon's standard retry policy.
+func DefaultRPCConfig() RPCConfig {
+	return RPCConfig{
+		Timeout:    event.Millisecond,
+		MaxTimeout: 8 * event.Millisecond,
+		Retries:    6,
+	}
+}
+
+func (c RPCConfig) withDefaults() RPCConfig {
+	d := DefaultRPCConfig()
+	if c.Timeout <= 0 {
+		c.Timeout = d.Timeout
+	}
+	if c.MaxTimeout < c.Timeout {
+		c.MaxTimeout = c.Timeout
+	}
+	if c.Retries <= 0 {
+		c.Retries = d.Retries
+	}
+	return c
+}
+
+// RPCStats counts the retry machinery's work — the recovery audit trail
+// the telemetry registry exports (qdaemon/rpc).
+type RPCStats struct {
+	// Exchanges is the number of request/reply transactions completed.
+	Exchanges uint64
+	// Timeouts counts reply timeouts (each one is a retransmission or,
+	// on the last attempt, a failure).
+	Timeouts uint64
+	// Retries counts retransmitted requests.
+	Retries uint64
+	// Stale counts discarded replies that matched no outstanding request
+	// (duplicates, or late replies to an attempt already retried).
+	Stale uint64
+	// Failures counts exchanges abandoned after all attempts.
+	Failures uint64
+}
+
+// RPCStats returns the daemon's cumulative retry counters.
+func (d *Daemon) RPCStats() RPCStats { return d.rpcStats }
+
+// exchange performs one reliable request/reply transaction on a host
+// port: send req, wait for a reply match accepts, retransmit on timeout
+// with doubling backoff, and give up after cfg.Retries attempts.
+// Non-matching datagrams (stale replies from abandoned attempts) are
+// counted and discarded, restarting the wait. The caller owns the port:
+// each host port has exactly one process doing synchronous exchanges on
+// it (the control program on Ctl, the watchdog on Mon), so a matched
+// reply always belongs to the request just sent.
+func (d *Daemon) exchange(p *event.Proc, port *ethjtag.Port, req ethjtag.Packet, what string, match func(ethjtag.Packet) bool) (ethjtag.Packet, error) {
+	cfg := d.RPC.withDefaults()
+	timeout := cfg.Timeout
+	for attempt := 1; ; attempt++ {
+		if err := port.Send(req); err != nil {
+			return ethjtag.Packet{}, err
+		}
+		for {
+			rep, ok := port.RecvTimeout(p, timeout)
+			if !ok {
+				break
+			}
+			if match(rep) {
+				d.rpcStats.Exchanges++
+				return rep, nil
+			}
+			d.rpcStats.Stale++
+		}
+		d.rpcStats.Timeouts++
+		if attempt >= cfg.Retries {
+			d.rpcStats.Failures++
+			return ethjtag.Packet{}, fmt.Errorf("qdaemon: %s: no reply after %d attempts", what, attempt)
+		}
+		d.rpcStats.Retries++
+		timeout *= 2
+		if timeout > cfg.MaxTimeout {
+			timeout = cfg.MaxTimeout
+		}
+	}
+}
+
+// jtagExchange performs a reliable JTAG transaction with a node: the
+// reply must come from the node's JTAG address and echo the op (and,
+// when addrMatters, the address — OpStartBoot and OpStatus replies
+// carry no address).
+func (d *Daemon) jtagExchange(p *event.Proc, port *ethjtag.Port, rank int, op ethjtag.JTAGOp, addr, data uint64, addrMatters bool) (uint64, error) {
+	jaddr := ethjtag.NodeJTAGAddr(rank)
+	what := fmt.Sprintf("node %d jtag op %d addr %#x", rank, op, addr)
+	rep, err := d.exchange(p, port, ethjtag.Packet{
+		Dst: jaddr, Port: ethjtag.PortJTAG,
+		Payload: ethjtag.EncodeJTAG(op, addr, data),
+	}, what, func(rep ethjtag.Packet) bool {
+		if rep.Src != jaddr || rep.Port != ethjtag.PortJTAG {
+			return false
+		}
+		rop, raddr, _, derr := ethjtag.DecodeJTAG(rep.Payload)
+		return derr == nil && rop == op && (!addrMatters || raddr == addr)
+	})
+	if err != nil {
+		return 0, err
+	}
+	_, _, rdata, _ := ethjtag.DecodeJTAG(rep.Payload)
+	return rdata, nil
+}

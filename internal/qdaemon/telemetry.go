@@ -17,27 +17,21 @@ import (
 // word fetched is one real request/reply exchange on the simulated
 // management network; the peek itself has no side effect on the node.
 
-// PeekWord reads one 64-bit word from a node over Ethernet/JTAG.
+// PeekWord reads one 64-bit word from a node over Ethernet/JTAG, with
+// the retry machinery of retry.go underneath (a lost peek or reply
+// costs a timeout, not a hang).
 func (d *Daemon) PeekWord(p *event.Proc, rank int, addr uint64) (uint64, error) {
+	return d.peekWordOn(p, d.Ctl, rank, addr)
+}
+
+// peekWordOn is PeekWord on an explicit host port — the watchdog peeks
+// on its own port (Daemon.Mon) so health polls never interleave with
+// the control program's exchanges.
+func (d *Daemon) peekWordOn(p *event.Proc, port *ethjtag.Port, rank int, addr uint64) (uint64, error) {
 	if rank < 0 || rank >= len(d.M.Nodes) {
 		return 0, fmt.Errorf("qdaemon: peek on bad rank %d", rank)
 	}
-	err := d.Ctl.Send(ethjtag.Packet{
-		Dst: ethjtag.NodeJTAGAddr(rank), Port: ethjtag.PortJTAG,
-		Payload: ethjtag.EncodeJTAG(ethjtag.OpReadWord, addr, 0),
-	})
-	if err != nil {
-		return 0, err
-	}
-	rep := d.Ctl.Recv(p)
-	op, raddr, data, err := ethjtag.DecodeJTAG(rep.Payload)
-	if err != nil {
-		return 0, err
-	}
-	if op != ethjtag.OpReadWord || raddr != addr {
-		return 0, fmt.Errorf("qdaemon: peek reply mismatch (op %d addr %#x, want %#x)", op, raddr, addr)
-	}
-	return data, nil
+	return d.jtagExchange(p, port, rank, ethjtag.OpReadWord, addr, 0, true)
 }
 
 // peekTelemetry fetches one telemetry-window word.

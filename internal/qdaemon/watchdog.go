@@ -1,0 +1,210 @@
+package qdaemon
+
+// The heartbeat watchdog: the host-side failure detector. Run kernels
+// tick a per-node heartbeat counter (qos.Kernel.StartHeartbeat); the
+// watchdog polls each node's telemetry window over the Ethernet/JTAG
+// side network — the RISCWatch path, which needs no software on the
+// node — and declares a node dead when its lifecycle state reads
+// Crashed or its heartbeat freezes for Misses consecutive polls (the
+// hung case, where state still claims app-running). A death marks the
+// owning daughterboard failed in the partition map and aborts the
+// active job so the recovery flow (repartition, restore checkpoint,
+// restart) can take over.
+//
+// The watchdog runs on its own host port (Daemon.Mon) so its peeks
+// never interleave with the control program's synchronous exchanges on
+// Ctl. All waiting is simulation-clock sleeps and timeouts: a run with
+// a given fault plan detects the same death at the same picosecond
+// every time.
+
+import (
+	"fmt"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/node"
+	"qcdoc/internal/telemetry"
+)
+
+// WatchdogConfig parameterizes failure detection.
+type WatchdogConfig struct {
+	// Period is the polling interval.
+	Period event.Time
+	// Misses is how many consecutive polls may observe a frozen
+	// heartbeat (or fail outright) before the node is declared dead.
+	Misses int
+}
+
+// DefaultWatchdogConfig returns the standard detection policy.
+func DefaultWatchdogConfig() WatchdogConfig {
+	return WatchdogConfig{Period: 500 * event.Microsecond, Misses: 3}
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	d := DefaultWatchdogConfig()
+	if c.Period <= 0 {
+		c.Period = d.Period
+	}
+	if c.Misses <= 0 {
+		c.Misses = d.Misses
+	}
+	return c
+}
+
+// FailureRecord describes one detected node death.
+type FailureRecord struct {
+	// Rank is the dead node; Board its daughterboard.
+	Rank, Board int
+	// Crashed is true when the lifecycle state read Crashed (fast
+	// detection); false for the frozen-heartbeat (hang) path.
+	Crashed bool
+	// DetectedAt is when the watchdog declared the death.
+	DetectedAt event.Time
+	// DetectLatency is DetectedAt minus the last poll that observed the
+	// node making progress — the window during which the machine ran
+	// with an undetected dead node.
+	DetectLatency event.Time
+}
+
+func (f FailureRecord) String() string {
+	kind := "hung"
+	if f.Crashed {
+		kind = "crashed"
+	}
+	return fmt.Sprintf("node %d (board %d) %s, detected at %v (latency %v)",
+		f.Rank, f.Board, kind, f.DetectedAt, f.DetectLatency)
+}
+
+// AbortError is the error a job launch returns when the watchdog
+// aborted it after detecting a node death. The chaos/recovery driver
+// treats it as "restore checkpoint and restart on the survivors".
+type AbortError struct {
+	Job string
+	Rec FailureRecord
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("qdaemon: job %s aborted: %s", e.Job, e.Rec)
+}
+
+// Watchdog is the host's failure detector.
+type Watchdog struct {
+	d   *Daemon
+	cfg WatchdogConfig
+
+	lastBeat []uint64
+	lastLive []event.Time // last poll that observed progress
+	stale    []int
+	dead     []bool
+
+	// Polls counts per-node poll rounds; PeekErrors counts side-network
+	// peeks that exhausted their retries (each also counts as a miss).
+	Polls      uint64
+	PeekErrors uint64
+	// Failures is every detected death, in detection order.
+	Failures []FailureRecord
+	// OnFailure, when set, observes each detection (after the partition
+	// map is updated and the active job aborted).
+	OnFailure func(FailureRecord)
+}
+
+// StartWatchdog arms the heartbeat watchdog. Heartbeats must be ticking
+// (Daemon.EnableHeartbeats) or every node will look hung after Misses
+// polls. The watchdog polls forever; it is a daemon process and does
+// not keep the engine alive by itself.
+func (d *Daemon) StartWatchdog(cfg WatchdogConfig) *Watchdog {
+	if d.wd != nil {
+		return d.wd
+	}
+	w := &Watchdog{d: d, cfg: cfg.withDefaults()}
+	n := len(d.M.Nodes)
+	w.lastBeat = make([]uint64, n)
+	w.lastLive = make([]event.Time, n)
+	w.stale = make([]int, n)
+	w.dead = make([]bool, n)
+	d.wd = w
+	d.M.Reg.RegisterCounters("qdaemon/watchdog", func(emit telemetry.EmitFunc) {
+		emit("polls", w.Polls)
+		emit("peek_errors", w.PeekErrors)
+		emit("deaths", uint64(len(w.Failures)))
+		for _, f := range w.Failures {
+			emit(fmt.Sprintf("detect_latency_ps/node%d", f.Rank), uint64(f.DetectLatency))
+		}
+	})
+	d.Eng.SpawnDaemon("qdaemon watchdog", w.loop)
+	return w
+}
+
+// Watchdog returns the armed watchdog, or nil.
+func (d *Daemon) Watchdog() *Watchdog { return d.wd }
+
+// EnableHeartbeats starts every node kernel's liveness tick; see
+// qos.Kernel.StartHeartbeat. Chaos/recovery runs call this after boot;
+// the default event stream never carries heartbeats.
+func (d *Daemon) EnableHeartbeats(period event.Time) {
+	for _, k := range d.Kernels {
+		k.StartHeartbeat(d.Eng, period)
+	}
+}
+
+func (w *Watchdog) loop(p *event.Proc) {
+	now := w.d.Eng.Now()
+	for r := range w.lastLive {
+		w.lastLive[r] = now
+	}
+	for {
+		p.Sleep(w.cfg.Period)
+		w.Polls++
+		for r := range w.d.M.Nodes {
+			if w.dead[r] || w.d.Part.Isolated(r) {
+				continue
+			}
+			w.poll(p, r)
+		}
+	}
+}
+
+// poll observes one node over the side network and applies the death
+// criteria.
+func (w *Watchdog) poll(p *event.Proc, r int) {
+	state, serr := w.d.peekWordOn(p, w.d.Mon, r, node.TelemetryAddr(node.TelemStateWord))
+	beat, berr := uint64(0), error(nil)
+	if serr == nil {
+		beat, berr = w.d.peekWordOn(p, w.d.Mon, r, node.TelemetryAddr(node.TelemHeartbeatWord))
+	}
+	now := w.d.Eng.Now()
+	switch {
+	case serr != nil || berr != nil:
+		// The side network itself failed us; treat like a missed beat.
+		w.PeekErrors++
+		w.stale[r]++
+	case node.State(state) == node.Crashed:
+		w.declareDead(r, true, now)
+		return
+	case beat != w.lastBeat[r]:
+		w.lastBeat[r] = beat
+		w.lastLive[r] = now
+		w.stale[r] = 0
+		return
+	default:
+		w.stale[r]++
+	}
+	if w.stale[r] >= w.cfg.Misses {
+		w.declareDead(r, false, now)
+	}
+}
+
+func (w *Watchdog) declareDead(r int, crashed bool, now event.Time) {
+	w.dead[r] = true
+	rec := FailureRecord{
+		Rank:          r,
+		Crashed:       crashed,
+		DetectedAt:    now,
+		DetectLatency: now - w.lastLive[r],
+	}
+	rec.Board, _ = w.d.Part.MarkFailed(r)
+	w.Failures = append(w.Failures, rec)
+	w.d.AbortJob(&AbortError{Job: w.d.activeJob, Rec: rec})
+	if w.OnFailure != nil {
+		w.OnFailure(rec)
+	}
+}

@@ -46,6 +46,9 @@ type Kernel struct {
 	kernelPackets int
 	kernelLoaded  bool
 	stdoutSeq     int
+
+	hbTimer  *event.Timer
+	hbPeriod event.Time
 }
 
 // NewKernel builds the kernel for a node on its standard Ethernet port.
@@ -73,8 +76,36 @@ func (k *Kernel) Start(eng *event.Engine) {
 	k.Eth.OnPacket(k.serve)
 }
 
-// serve handles one management packet, in its arrival event.
+// StartHeartbeat arms the kernel's liveness tick: every period, the
+// kernel thread bumps the node's heartbeat counter, which the host
+// watchdog reads through the telemetry MMIO window. Heartbeats are
+// opt-in (chaos/recovery runs enable them) so the default event stream
+// — and with it every pinned determinism digest — is untouched. A
+// crashed or hung node's timer keeps firing (it is engine machinery,
+// not node software) but ticks nothing: the counter freezes, which is
+// precisely the watchdog's detection signal.
+func (k *Kernel) StartHeartbeat(eng *event.Engine, period event.Time) {
+	if k.hbTimer != nil || period <= 0 {
+		return
+	}
+	k.hbPeriod = period
+	k.hbTimer = eng.NewTimer(func() {
+		if !k.Node.Alive() {
+			return // dead software ticks nothing; the timer dies with it
+		}
+		k.Node.TickHeartbeat()
+		k.hbTimer.Arm(k.hbPeriod)
+	})
+	k.hbTimer.Arm(period)
+}
+
+// serve handles one management packet, in its arrival event. A node
+// whose software has crashed or hung answers nothing — only the
+// JTAG controller (separate port, pure hardware) still responds.
 func (k *Kernel) serve(pkt ethjtag.Packet) {
+	if !k.Node.Alive() {
+		return
+	}
 	switch pkt.Port {
 	case ethjtag.PortBoot:
 		k.handleBoot(pkt)

@@ -83,6 +83,16 @@ type linkUnit struct {
 	supWord    uint64
 	supQueue   []uint64
 
+	// Link-recovery escalation ladder (ack timeout → retrain → dead).
+	// timeoutStreak counts consecutive recovery timeouts since the last
+	// acknowledgement progress; retrainCount counts consecutive
+	// re-trainings since the last progress. Both reset whenever an ack
+	// pops the window or a supervisor ack lands.
+	timeoutStreak int
+	retrainCount  int
+	retraining    bool // outbound wire is re-training; transmissions suppressed
+	dead          bool // link declared permanently failed; see fail
+
 	// Receive side: a pure continuation — handleFrame runs directly in
 	// each frame's arrival event.
 	expect     int
@@ -129,9 +139,16 @@ func (lu *linkUnit) start() {
 
 // sendPacket encodes and transmits one packet as a value frame, treating
 // an untrained wire as an assembly error (the machine trains all links
-// at boot, before the SCU engines start moving data).
+// at boot, before the SCU engines start moving data). While the link is
+// re-training or after it has been declared dead, transmissions are
+// silently suppressed instead: every suppressed data word is still in
+// the unacked ring (or covered by a stop-and-wait timer), so the window
+// protocol re-issues it once the link is back — or never, if it isn't.
 //qcdoc:noalloc
 func (lu *linkUnit) sendPacket(p scupkt.Packet) {
+	if lu.retraining || lu.dead {
+		return
+	}
 	if _, err := lu.out.Send(p.Wire()); err != nil {
 		panic(fmt.Sprintf("scu %s link %v: %v", lu.scu.name, lu.link, err)) //qcdoclint:alloc-ok cold assembly-error path
 	}
@@ -257,10 +274,16 @@ func (lu *linkUnit) sendHeld() {
 // unacknowledged word has not been acked within AckTimeout, resend it
 // and restart the clock. Arming bumps the timer's generation, so any
 // pop of the window head implicitly cancels the outstanding timer by
-// re-arming (or stopping) it.
+// re-arming (or stopping) it. A streak of timeouts with no progress
+// escalates to link re-training (see beginRetrain).
 //qcdoc:noalloc
 func (lu *linkUnit) ackTimeout() {
-	if lu.unackedLen == 0 {
+	if lu.unackedLen == 0 || lu.retraining || lu.dead {
+		return
+	}
+	lu.timeoutStreak++
+	if lu.scu.cfg.RetrainAfter > 0 && lu.timeoutStreak >= lu.scu.cfg.RetrainAfter {
+		lu.beginRetrain()
 		return
 	}
 	pw := lu.unacked[lu.unackedHead]
@@ -288,15 +311,80 @@ func (lu *linkUnit) transmitSup(w uint64) {
 }
 
 // supTimeout resends the outstanding supervisor word (stop-and-wait
-// recovery); the supervisor ack stops the timer.
+// recovery); the supervisor ack stops the timer. Supervisor timeouts
+// feed the same escalation streak as data timeouts, so a link carrying
+// only supervisor traffic still retrains and eventually fails.
 //qcdoc:noalloc
 func (lu *linkUnit) supTimeout() {
-	if !lu.supPending {
+	if !lu.supPending || lu.retraining || lu.dead {
+		return
+	}
+	lu.timeoutStreak++
+	if lu.scu.cfg.RetrainAfter > 0 && lu.timeoutStreak >= lu.scu.cfg.RetrainAfter {
+		lu.beginRetrain()
 		return
 	}
 	lu.sendPacket(scupkt.Packet{Kind: scupkt.Supervisor, Payload: lu.supWord})
 	lu.stats.Resends++
 	lu.supTimer.Arm(lu.scu.cfg.AckTimeout)
+}
+
+// beginRetrain resets and re-trains the outbound wire: the §2.2
+// low-level recovery for a link whose errors outlast the resend
+// protocol. Transmissions are suppressed for the training time; when
+// training completes, everything unacknowledged is re-issued. Retrains
+// that keep producing no acknowledgement progress escalate to fail.
+func (lu *linkUnit) beginRetrain() {
+	lu.retrainCount++
+	if lu.scu.cfg.MaxRetrains > 0 && lu.retrainCount > lu.scu.cfg.MaxRetrains {
+		lu.fail()
+		return
+	}
+	lu.stats.Retrains++
+	lu.timeoutStreak = 0
+	lu.retraining = true
+	lu.ackTimer.Stop()
+	lu.supTimer.Stop()
+	lu.out.Reset()
+	lu.out.TrainAsync(lu.retrainDone)
+}
+
+// retrainDone resumes the link after re-training: rewind-resend every
+// unacknowledged data word on the fresh wire, re-issue any outstanding
+// supervisor word, restart the recovery clocks, and release the
+// transmit engine if the window parked it.
+func (lu *linkUnit) retrainDone() {
+	if lu.dead {
+		return
+	}
+	lu.retraining = false
+	for i := 0; i < lu.unackedLen; i++ {
+		pw := lu.unacked[(lu.unackedHead+i)%scupkt.SeqMod]
+		lu.sendPacket(scupkt.Packet{Kind: scupkt.DataKind(pw.seq), Payload: pw.word})
+		lu.stats.Resends++
+	}
+	if lu.unackedLen > 0 {
+		lu.ackTimer.Arm(lu.scu.cfg.AckTimeout)
+	}
+	if lu.supPending {
+		lu.sendPacket(scupkt.Packet{Kind: scupkt.Supervisor, Payload: lu.supWord})
+		lu.stats.Resends++
+		lu.supTimer.Arm(lu.scu.cfg.AckTimeout)
+	}
+	lu.kick(txWindow)
+	lu.kick(txIdle)
+}
+
+// fail declares the link permanently dead: MaxRetrains re-trainings in
+// a row produced no acknowledgement progress, so the hardware stops
+// trying (a dead transmitter resending forever would only burn the
+// wire) and escalates through the SCU's supervisor interrupt path.
+func (lu *linkUnit) fail() {
+	lu.dead = true
+	lu.stats.LinkFailures++
+	lu.ackTimer.Stop()
+	lu.supTimer.Stop()
+	lu.scu.raiseLinkFailure(lu.link)
 }
 
 // --- Receive engine ----------------------------------------------------
@@ -463,6 +551,8 @@ func (lu *linkUnit) handleAck(flags uint8) {
 	if flags&scupkt.AckSup != 0 {
 		lu.supPending = false
 		lu.supTimer.Stop()
+		lu.timeoutStreak = 0
+		lu.retrainCount = 0
 		if len(lu.supQueue) > 0 {
 			next := lu.supQueue[0]
 			lu.supQueue = lu.supQueue[1:]
@@ -472,6 +562,9 @@ func (lu *linkUnit) handleAck(flags uint8) {
 	}
 	a := int(flags & scupkt.AckSeqMask)
 	if lu.containsSeq(a) {
+		// Acknowledgement progress resets the recovery escalation ladder.
+		lu.timeoutStreak = 0
+		lu.retrainCount = 0
 		// Cumulative: pop everything up to and including a.
 		for {
 			pw := lu.unacked[lu.unackedHead]

@@ -65,6 +65,17 @@ type Config struct {
 	// larger than the round trip so it never fires spuriously. Default
 	// 50 us.
 	AckTimeout event.Time
+	// RetrainAfter is the number of consecutive acknowledgement timeouts
+	// (with no ack progress in between) after which the SCU resets and
+	// re-trains the outbound wire instead of resending again — the
+	// recovery for a link whose sampling phase has drifted or that is
+	// suffering a burst error. Default 4; negative disables retraining.
+	RetrainAfter int
+	// MaxRetrains is the number of consecutive re-trainings (with no ack
+	// progress in between) after which the SCU gives up, declares the
+	// link dead, and escalates via the supervisor interrupt path.
+	// Default 3; negative disables the give-up.
+	MaxRetrains int
 }
 
 // DefaultConfig returns the paper's nominal 500 MHz configuration.
@@ -75,6 +86,8 @@ func DefaultConfig() Config {
 		RxStartupCycles: 100,
 		Window:          scupkt.WindowSize,
 		AckTimeout:      50 * event.Microsecond,
+		RetrainAfter:    4,
+		MaxRetrains:     3,
 	}
 }
 
@@ -94,6 +107,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AckTimeout == 0 {
 		c.AckTimeout = d.AckTimeout
+	}
+	if c.RetrainAfter == 0 {
+		c.RetrainAfter = d.RetrainAfter
+	}
+	if c.MaxRetrains == 0 {
+		c.MaxRetrains = d.MaxRetrains
 	}
 	if c.Window >= scupkt.SeqMod {
 		// The window protocol cannot distinguish a full window from an
@@ -118,6 +137,8 @@ type Stats struct {
 	SupsReceived  uint64
 	PartIRQsSent  uint64
 	PartIRQsRecvd uint64
+	Retrains      uint64 // link re-trainings forced by ack-timeout streaks
+	LinkFailures  uint64 // links declared dead after MaxRetrains gave up
 }
 
 // statsFields is the single definition of the protocol counter set:
@@ -142,6 +163,8 @@ var statsFields = []struct {
 	{"sups_received", func(s *Stats) *uint64 { return &s.SupsReceived }},
 	{"partirqs_sent", func(s *Stats) *uint64 { return &s.PartIRQsSent }},
 	{"partirqs_recvd", func(s *Stats) *uint64 { return &s.PartIRQsRecvd }},
+	{"retrains", func(s *Stats) *uint64 { return &s.Retrains }},
+	{"link_failures", func(s *Stats) *uint64 { return &s.LinkFailures }},
 }
 
 // NumStats is the number of counters in Stats, in table order.
@@ -187,8 +210,10 @@ type SCU struct {
 
 	links [geom.NumLinks]*linkUnit
 
-	onSupervisor func(l geom.Link, word uint64)
-	lastSup      [geom.NumLinks]uint64
+	onSupervisor  func(l geom.Link, word uint64)
+	onLinkFailure func(l geom.Link)
+	lastSup       [geom.NumLinks]uint64
+	failedLinks   uint64 // bitmask by link index; see raiseLinkFailure
 
 	// WindowArm, when set by the machine, is called whenever a new
 	// partition-interrupt bit becomes pending on this node, so the
@@ -318,6 +343,42 @@ func (s *SCU) SendSupervisor(l geom.Link, word uint64) error {
 // supervisor words. The handler runs in the receiving link's context at
 // the simulated arrival time.
 func (s *SCU) OnSupervisor(fn func(l geom.Link, word uint64)) { s.onSupervisor = fn }
+
+// SupLinkFailed is the supervisor word delivered with the link-failure
+// escalation: when a link gives up after MaxRetrains, the SCU raises
+// the same CPU interrupt a neighbour's supervisor packet would, with
+// this distinguished word ("LNKDEAD" in ASCII), so supervisor-level
+// software learns about dead links through its existing interrupt path.
+const SupLinkFailed uint64 = 0x004C4E4B44454144
+
+// OnLinkFailure registers a callback invoked (before the supervisor
+// escalation interrupt) when a link is declared permanently dead.
+func (s *SCU) OnLinkFailure(fn func(l geom.Link)) { s.onLinkFailure = fn }
+
+// raiseLinkFailure records a dead link and escalates: first the
+// dedicated failure callback, then the supervisor interrupt path with
+// the SupLinkFailed word in the link's supervisor register.
+func (s *SCU) raiseLinkFailure(l geom.Link) {
+	s.failedLinks |= 1 << uint(geom.LinkIndex(l))
+	s.lastSup[geom.LinkIndex(l)] = SupLinkFailed
+	if s.onLinkFailure != nil {
+		s.onLinkFailure(l)
+	}
+	if s.onSupervisor != nil {
+		s.onSupervisor(l, SupLinkFailed)
+	}
+}
+
+// FailedLinks returns the bitmask of links declared permanently dead
+// (bit i set = link index i failed). The node's telemetry window
+// exposes this word, so the host-side watchdog sees link deaths without
+// any cooperation from the node's software.
+func (s *SCU) FailedLinks() uint64 { return s.failedLinks }
+
+// LinkDead reports whether link l has been declared permanently dead.
+func (s *SCU) LinkDead(l geom.Link) bool {
+	return s.failedLinks&(1<<uint(geom.LinkIndex(l))) != 0
+}
 
 // LastSupervisor returns the most recent supervisor word received on l
 // (the SCU register the packet lands in).

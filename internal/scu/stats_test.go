@@ -35,8 +35,8 @@ func TestStatsTable(t *testing.T) {
 			t.Fatalf("Value(%d) = %d", i, s.Value(i))
 		}
 	}
-	if s.WordsSent != 1 || s.PartIRQsRecvd != uint64(NumStats()) {
-		t.Fatalf("table order drifted: first %d last %d", s.WordsSent, s.PartIRQsRecvd)
+	if s.WordsSent != 1 || s.LinkFailures != uint64(NumStats()) {
+		t.Fatalf("table order drifted: first %d last %d", s.WordsSent, s.LinkFailures)
 	}
 	// Each visits in table order with matching values.
 	i := 0

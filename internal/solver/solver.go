@@ -61,11 +61,38 @@ type Result struct {
 // ErrMaxIterations is returned when the solver fails to reach tolerance.
 var ErrMaxIterations = errors.New("solver: maximum iterations reached")
 
+// Checkpoint configures periodic capture of the solution iterate during
+// a solve. Every Every completed iterations, Save is handed the
+// iteration count and the current x; serializing it (checkpoint
+// package, KindSolver) is the saver's business. CG is self-correcting
+// in x: restoring a saved iterate and re-running the solve from it
+// re-converges, which is what the chaos/recovery flow does after a node
+// death. A zero Checkpoint disables capture.
+type Checkpoint[T any] struct {
+	// Every is the checkpoint interval in iterations; <= 0 disables.
+	Every int
+	// Save observes the iterate. It must copy what it keeps: x is the
+	// live solver vector and the next iteration mutates it.
+	Save func(iteration int, x T)
+}
+
+func (c Checkpoint[T]) due(iter int) bool {
+	return c.Every > 0 && c.Save != nil && iter%c.Every == 0
+}
+
 // CGNE solves D x = b by conjugate gradient on the normal equations
 // D†D x = D†b, starting from the contents of x. It stops when the
 // normal-equation residual satisfies |r| <= tol*|D†b|, then reports the
 // true relative residual.
 func CGNE[T any](sp Space[T], applyD, applyDdag Op[T], x, b T, tol float64, maxIter int) (Result, error) {
+	return CGNECheckpointed(sp, applyD, applyDdag, x, b, tol, maxIter, Checkpoint[T]{})
+}
+
+// CGNECheckpointed is CGNE with periodic solution-state capture; see
+// Checkpoint. The checkpoint hook runs after an iteration's updates are
+// complete, so a saved x is exactly the iterate the next iteration
+// starts from.
+func CGNECheckpointed[T any](sp Space[T], applyD, applyDdag Op[T], x, b T, tol float64, maxIter int, ck Checkpoint[T]) (Result, error) {
 	res := Result{}
 	// bp = D† b.
 	bp := sp.New()
@@ -116,6 +143,9 @@ func CGNE[T any](sp Space[T], applyD, applyDdag Op[T], x, b T, tol float64, maxI
 		rr = rrNew
 		res.Iterations = iter + 1
 		sp.noteIteration()
+		if ck.due(res.Iterations) {
+			ck.Save(res.Iterations, x)
+		}
 	}
 	if rr <= target {
 		res.Converged = true
