@@ -15,6 +15,13 @@ FUZZTIME ?= 3s
 # parsed results to BENCH_frames.json (one JSON entry per -count run).
 BENCH_SET = ^(BenchmarkEngineDispatch|BenchmarkGlobalSumMachine|BenchmarkTelemetryOverhead|BenchmarkE1FunctionalWilson)$$
 
+# The parallel-engine benchmark set: the functional Wilson solve and the
+# rack-scale halo-exchange loop, each at workers=1/4/8 on the sharded
+# engine. Pinned separately in BENCH_parallel.json because the numbers
+# only mean "speedup" on a multi-core host — on one core they measure
+# the window-barrier overhead instead (README "Parallel engine").
+BENCH_PARALLEL_SET = ^(BenchmarkE1FunctionalWilsonParallel|BenchmarkE11RackScale)$$
+
 .PHONY: check vet lint fuzz build test race bench benchall tables chaos
 
 check: vet lint build race fuzz
@@ -23,8 +30,8 @@ vet:
 	$(GO) vet ./...
 
 # qcdoclint: the project's own analyzers (simtime, maprange, hotalloc,
-# contsafe) machine-check the determinism, zero-alloc, and
-# continuation-tier invariants. DESIGN.md §11.
+# contsafe, shardsafe) machine-check the determinism, zero-alloc,
+# continuation-tier, and shard-isolation invariants. DESIGN.md §11.
 lint:
 	$(GO) run ./cmd/qcdoclint ./...
 
@@ -48,6 +55,8 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -count=5 . \
 		| $(GO) run ./cmd/benchjson -o BENCH_frames.json
+	$(GO) test -run '^$$' -bench '$(BENCH_PARALLEL_SET)' -benchmem -benchtime 3x -count=3 . \
+		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...
@@ -58,7 +67,11 @@ tables:
 # Chaos gate: the E16 scenario under two fixed fault seeds, each run
 # twice — qcdoc exits non-zero unless both runs of a seed produce the
 # same outcome digest (injection, detection, isolation, restore, and
-# re-convergence timing all bit-identical). DESIGN.md §12.
+# re-convergence timing all bit-identical). DESIGN.md §12. The final
+# run repeats seed 16 on the sharded engine with an 8-goroutine worker
+# pool; its digest must match the serial runs above bit for bit
+# (DESIGN.md §13).
 chaos:
 	$(GO) run ./cmd/qcdoc chaos -faultseed 16 -repeat 2 -quiet
 	$(GO) run ./cmd/qcdoc chaos -faultseed 23 -repeat 2 -quiet
+	$(GO) run ./cmd/qcdoc chaos -faultseed 16 -repeat 2 -quiet -workers 8

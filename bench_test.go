@@ -9,6 +9,7 @@
 package qcdoc_test
 
 import (
+	"fmt"
 	"testing"
 
 	"qcdoc/internal/core"
@@ -80,6 +81,103 @@ func BenchmarkE1FunctionalWilson(b *testing.B) {
 	b.ReportMetric(100*eff, "%peak")
 	b.ReportMetric(simNS, "sim-ns/iter")
 	b.ReportMetric(40, "%paper")
+}
+
+// --- E1/E11 parallel engine scaling (functional, sharded) ------------------
+
+// benchE1Parallel is BenchmarkE1FunctionalWilson on the sharded engine:
+// same 16-node machine and solve, partitioned one shard per
+// daughterboard (8 shards) and executed by the given worker count. The
+// simulated physics is identical at every worker count (the digest
+// tests pin that); only host wall clock changes.
+func benchE1Parallel(b *testing.B, workers int) {
+	global := lattice.Shape4{8, 8, 8, 8}
+	gauge := lattice.NewGaugeField(global)
+	gauge.Randomize(1)
+	rhs := lattice.NewFermionField(global)
+	rhs.Gaussian(2)
+	b.ReportAllocs()
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		cfg := machine.DefaultConfig(geom.MakeShape(2, 2, 2, 2))
+		cfg.Shards = machine.ShardAuto
+		cfg.Workers = workers
+		sess, err := core.NewSessionConfig(cfg, global)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, met, err := sess.SolveWilson(gauge, rhs, 0.5, fermion.Double, 1e-4, 100)
+		sess.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = met.Efficiency
+	}
+	b.ReportMetric(100*eff, "%peak")
+}
+
+func BenchmarkE1FunctionalWilsonParallel(b *testing.B) {
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchE1Parallel(b, w) })
+	}
+}
+
+// BenchmarkE11RackScale runs a whole simulated rack — the paper's
+// 1024-node 8x4x4x2x2x2 machine (§4) — through boot plus a
+// communication-bound SPMD round (nearest-neighbour halo traffic and a
+// doubled global sum) on the sharded engine, one shard per motherboard
+// (16 shards). This is the workload the shard refactor exists for: at
+// workers=1 it measures the conservative protocol's overhead, at
+// workers=N its speedup.
+func benchRackScale(b *testing.B, workers int) {
+	shape := geom.MakeShape(8, 4, 4, 2, 2, 2)
+	var end event.Time
+	for i := 0; i < b.N; i++ {
+		eng := event.New()
+		cfg := machine.DefaultConfig(shape)
+		cfg.Shards = machine.ShardAuto
+		cfg.Workers = workers
+		m := machine.Build(eng, cfg)
+		if err := m.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		fold := geom.IdentityFold(shape)
+		err := m.RunSPMD("rack", func(rank int) node.Program {
+			return func(ctx *node.Ctx) {
+				n := ctx.N
+				sendAddr := n.AllocWords(16)
+				recvAddr := n.AllocWords(16)
+				for w := 0; w < 16; w++ {
+					n.Mem.WriteWord(sendAddr+8*uint64(w), uint64(rank)<<32|uint64(w))
+				}
+				for round := 0; round < 4; round++ {
+					rt, err := n.SCU.StartRecv(geom.Link{Dim: 0, Dir: geom.Bwd}, scu.Contiguous(recvAddr, 16))
+					if err != nil {
+						panic(err)
+					}
+					st, err := n.SCU.StartSend(geom.Link{Dim: 0, Dir: geom.Fwd}, scu.Contiguous(sendAddr, 16))
+					if err != nil {
+						panic(err)
+					}
+					st.Wait(ctx.P)
+					rt.Wait(ctx.P)
+				}
+				qmp.New(ctx, fold).GlobalSumFloat64Doubled(ctx.P, float64(rank))
+			}
+		})
+		end = eng.Now()
+		eng.Shutdown()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(end)/1e6, "sim-us")
+}
+
+func BenchmarkE11RackScale(b *testing.B) {
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchRackScale(b, w) })
+	}
 }
 
 // --- E2: DDR spill --------------------------------------------------------

@@ -136,11 +136,17 @@ func cmdSolve(args []string) {
 	telemetryOut := fs.String("telemetry", "", "write a machine-wide telemetry snapshot (JSON) to this file after the run")
 	traceN := fs.Int("trace", 0, "attach a flight recorder holding the last N events (0 = off)")
 	chromeOut := fs.String("chrometrace", "", "write the flight-recorder tail as Chrome trace-event JSON to this file")
+	workers := fs.Int("workers", 0, "simulation worker goroutines for the sharded engine (0 = unsharded serial engine)")
 	fs.Parse(args)
 
 	shape := geom.MakeShape(parseDims(*mshape)...)
 	global := parseShape4(*lat)
-	sess, err := core.NewSession(shape, global)
+	mcfg := machine.DefaultConfig(shape)
+	if *workers > 0 {
+		mcfg.Shards = machine.ShardAuto
+		mcfg.Workers = *workers
+	}
+	sess, err := core.NewSessionConfig(mcfg, global)
 	fatal(err)
 	defer sess.Close()
 	if *telemetryOut != "" {
@@ -302,6 +308,7 @@ func cmdChaos(args []string) {
 	dups := fs.Int("dups", 1, "management packets to duplicate")
 	repeat := fs.Int("repeat", 1, "run N times and require identical digests")
 	quiet := fs.Bool("quiet", false, "suppress the per-event narrative")
+	workers := fs.Int("workers", 0, "simulation worker goroutines for the sharded engine (0 = unsharded serial engine)")
 	fs.Parse(args)
 
 	cfg := core.ChaosConfig{
@@ -322,6 +329,10 @@ func cmdChaos(args []string) {
 			NetDrops:    *drops,
 			NetDups:     *dups,
 		},
+	}
+	if *workers > 0 {
+		cfg.Shards = machine.ShardAuto
+		cfg.Workers = *workers
 	}
 	if !*quiet {
 		cfg.Log = os.Stdout

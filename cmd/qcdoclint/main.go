@@ -3,10 +3,11 @@
 // matched by its arguments with the stdlib type checker and applies
 // every registered analyzer:
 //
-//	simtime  — no wall-clock or global math/rand in simulator code
-//	maprange — no order-sensitive effects inside map iterations
-//	hotalloc — //qcdoc:noalloc functions contain no allocating constructs
-//	contsafe — no blocking coroutine APIs on the continuation tier
+//	simtime   — no wall-clock or global math/rand in simulator code
+//	maprange  — no order-sensitive effects inside map iterations
+//	hotalloc  — //qcdoc:noalloc functions contain no allocating constructs
+//	contsafe  — no blocking coroutine APIs on the continuation tier
+//	shardsafe — no machine-wide hardware access from per-shard code
 //
 // Usage:
 //
@@ -31,6 +32,7 @@ import (
 	"qcdoc/internal/analysis/hotalloc"
 	"qcdoc/internal/analysis/load"
 	"qcdoc/internal/analysis/maprange"
+	"qcdoc/internal/analysis/shardsafe"
 	"qcdoc/internal/analysis/simtime"
 )
 
@@ -40,6 +42,7 @@ var analyzers = []*analysis.Analyzer{
 	maprange.Analyzer,
 	hotalloc.Analyzer,
 	contsafe.Analyzer,
+	shardsafe.Analyzer,
 }
 
 // listPkg is the subset of `go list -json` the driver needs: where a

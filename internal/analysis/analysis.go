@@ -75,6 +75,9 @@ const (
 	// MarkerWalltimeOK waives simtime: host wall-clock use outside the
 	// simulated machine (e.g. a CLI progress meter).
 	MarkerWalltimeOK = "qcdoclint:walltime-ok"
+	// MarkerShardOK waives shardsafe: the flagged collection access is
+	// rank-local, pre-run, or otherwise confined to the owning shard.
+	MarkerShardOK = "qcdoclint:shard-ok"
 )
 
 // NoallocTag is the function annotation hotalloc enforces: a

@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"qcdoc/internal/analysis/analysistest"
+	"qcdoc/internal/analysis/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", shardsafe.Analyzer, "a")
+}

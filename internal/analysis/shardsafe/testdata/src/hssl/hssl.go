@@ -1,0 +1,6 @@
+// Package hssl is a fixture stand-in for qcdoc/internal/hssl.
+package hssl
+
+type Wire struct{}
+
+func (w *Wire) Kill() {}

@@ -1,0 +1,7 @@
+// Package node is a fixture stand-in for qcdoc/internal/node.
+package node
+
+type Node struct{ Beat uint64 }
+
+func (n *Node) Crash()         {}
+func (n *Node) TickHeartbeat() { n.Beat++ }

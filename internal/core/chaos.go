@@ -71,6 +71,12 @@ type ChaosConfig struct {
 	// Spec describes the faults to draw from FaultSeed.
 	Spec faultplan.Spec
 
+	// Shards/Workers select sharded parallel simulation for each
+	// attempt's machine (see machine.Config); the outcome digest is
+	// invariant under Workers.
+	Shards  int
+	Workers int
+
 	// Log, when set, receives a human-readable narrative of the run.
 	Log io.Writer
 }
@@ -225,7 +231,10 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 	res := chaosAttempt{}
 	eng := event.New()
 	defer eng.Shutdown()
-	m := machine.Build(eng, machine.DefaultConfig(shape))
+	mcfg := machine.DefaultConfig(shape)
+	mcfg.Shards = cfg.Shards
+	mcfg.Workers = cfg.Workers
+	m := machine.Build(eng, mcfg)
 	if err := m.TrainLinks(); err != nil {
 		return res, err
 	}
@@ -234,7 +243,7 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 
 	dec := lay.Dec
 	res.solution = lattice.NewFermionField(cfg.Global)
-	var firstErr error
+	errs := make([]error, shape.Volume())
 	prog := fmt.Sprintf("chaos-wilson-a%d", attempt)
 	d.LoadProgram(prog, func(rank int) node.Program {
 		return func(ctx *node.Ctx) {
@@ -258,9 +267,7 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 				},
 			}
 			r, err := solver.CGNECheckpointed(sp, dw.Apply, dw.ApplyDag, x, localB, cfg.Tol, cfg.MaxIter, ck)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
+			errs[rank] = err
 			GatherFermion(res.solution, dec, gc, x)
 			if rank == 0 {
 				res.met.Iterations = r.Iterations
@@ -303,8 +310,8 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 	case runErr != nil:
 		return res, runErr
 	}
-	if firstErr != nil {
-		return res, firstErr
+	if err := firstOf(errs); err != nil {
+		return res, err
 	}
 	res.met.SimTime = res.rec.EndedAt
 	return res, nil

@@ -45,6 +45,18 @@ func NewSessionConfig(cfg machine.Config, global lattice.Shape4) (*Session, erro
 // Close releases the session's simulation resources.
 func (s *Session) Close() { s.Eng.Shutdown() }
 
+// firstOf returns the lowest-rank error from a per-rank error slice —
+// the deterministic replacement for racing rank closures on one shared
+// firstErr variable.
+func firstOf(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SolveMetrics reports a distributed solve.
 type SolveMetrics struct {
 	Iterations   int
@@ -73,7 +85,9 @@ func (s *Session) SolveWilson(gauge *lattice.GaugeField, b *lattice.FermionField
 	}
 	solution := lattice.NewFermionField(dec.Global)
 	var met SolveMetrics
-	var firstErr error
+	// Per-rank error slots: rank programs may execute on different shard
+	// engines concurrently, so each writes only its own element.
+	errs := make([]error, s.M.NumNodes())
 	start := s.Eng.Now()
 	runErr := s.M.RunSPMD("wilson-cg", func(rank int) node.Program {
 		return func(ctx *node.Ctx) {
@@ -86,9 +100,7 @@ func (s *Session) SolveWilson(gauge *lattice.GaugeField, b *lattice.FermionField
 			sp := distSpinorSpace(ss)
 			x := lattice.NewFermionField(dec.Local)
 			res, err := solver.CGNE(sp, dw.Apply, dw.ApplyDag, x, localB, tol, maxIter)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
+			errs[rank] = err
 			GatherFermion(solution, dec, gc, x)
 			if rank == 0 {
 				met.Iterations = res.Iterations
@@ -100,8 +112,8 @@ func (s *Session) SolveWilson(gauge *lattice.GaugeField, b *lattice.FermionField
 	if runErr != nil {
 		return nil, met, runErr
 	}
-	if firstErr != nil {
-		return solution, met, firstErr
+	if err := firstOf(errs); err != nil {
+		return solution, met, err
 	}
 	met.SimTime = s.Eng.Now() - start
 	s.fillMetrics(&met, fermion.WilsonKind, 1)

@@ -20,7 +20,7 @@ func (s *Session) SolveClover(ref *fermion.Clover, b *lattice.FermionField, prec
 	}
 	solution := lattice.NewFermionField(dec.Global)
 	var met SolveMetrics
-	var firstErr error
+	errs := make([]error, s.M.NumNodes())
 	start := s.Eng.Now()
 	runErr := s.M.RunSPMD("clover-cg", func(rank int) node.Program {
 		return func(ctx *node.Ctx) {
@@ -31,9 +31,7 @@ func (s *Session) SolveClover(ref *fermion.Clover, b *lattice.FermionField, prec
 			ss := DistSpace(ctx, comm, dec, fermion.CloverKind, prec)
 			x := lattice.NewFermionField(dec.Local)
 			res, err := solver.CGNE(distSpinorSpace(ss), dc.Apply, dc.ApplyDag, x, ScatterFermion(b, dec, gc), tol, maxIter)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
+			errs[rank] = err
 			GatherFermion(solution, dec, gc, x)
 			if rank == 0 {
 				met.Iterations = res.Iterations
@@ -45,8 +43,8 @@ func (s *Session) SolveClover(ref *fermion.Clover, b *lattice.FermionField, prec
 	if runErr != nil {
 		return nil, met, runErr
 	}
-	if firstErr != nil {
-		return solution, met, firstErr
+	if err := firstOf(errs); err != nil {
+		return solution, met, err
 	}
 	met.SimTime = s.Eng.Now() - start
 	s.fillMetrics(&met, fermion.CloverKind, 1)
@@ -65,7 +63,7 @@ func (s *Session) SolveASQTAD(ref *fermion.ASQTAD, b *lattice.ColorField, prec f
 	}
 	solution := lattice.NewColorField(dec.Global)
 	var met SolveMetrics
-	var firstErr error
+	errs := make([]error, s.M.NumNodes())
 	start := s.Eng.Now()
 	runErr := s.M.RunSPMD("asqtad-cg", func(rank int) node.Program {
 		return func(ctx *node.Ctx) {
@@ -75,9 +73,7 @@ func (s *Session) SolveASQTAD(ref *fermion.ASQTAD, b *lattice.ColorField, prec f
 			ss := DistSpace(ctx, comm, dec, fermion.AsqtadKind, prec)
 			x := lattice.NewColorField(dec.Local)
 			res, err := solver.CGNE(distColorSpace(ss), da.Apply, da.ApplyDag, x, ScatterColor(b, dec, gc), tol, maxIter)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
+			errs[rank] = err
 			GatherColor(solution, dec, gc, x)
 			if rank == 0 {
 				met.Iterations = res.Iterations
@@ -89,8 +85,8 @@ func (s *Session) SolveASQTAD(ref *fermion.ASQTAD, b *lattice.ColorField, prec f
 	if runErr != nil {
 		return nil, met, runErr
 	}
-	if firstErr != nil {
-		return solution, met, firstErr
+	if err := firstOf(errs); err != nil {
+		return solution, met, err
 	}
 	met.SimTime = s.Eng.Now() - start
 	s.fillMetrics(&met, fermion.AsqtadKind, 1)
@@ -108,7 +104,7 @@ func (s *Session) SolveDWF(gauge *lattice.GaugeField, b *fermion.Field5, m5, mf 
 	}
 	solution := fermion.NewField5(dec.Global, ls)
 	var met SolveMetrics
-	var firstErr error
+	errs := make([]error, s.M.NumNodes())
 	start := s.Eng.Now()
 	runErr := s.M.RunSPMD("dwf-cg", func(rank int) node.Program {
 		return func(ctx *node.Ctx) {
@@ -122,9 +118,7 @@ func (s *Session) SolveDWF(gauge *lattice.GaugeField, b *fermion.Field5, m5, mf 
 			ss.dotCharge = ss.dotCharge.Scale(float64(ls))
 			x := fermion.NewField5(dec.Local, ls)
 			res, err := solver.CGNE(distField5Space(ss, ls), dd.Apply, dd.ApplyDag, x, scatterField5(b, dec, gc), tol, maxIter)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
+			errs[rank] = err
 			gatherField5(solution, dec, gc, x)
 			if rank == 0 {
 				met.Iterations = res.Iterations
@@ -136,8 +130,8 @@ func (s *Session) SolveDWF(gauge *lattice.GaugeField, b *fermion.Field5, m5, mf 
 	if runErr != nil {
 		return nil, met, runErr
 	}
-	if firstErr != nil {
-		return solution, met, firstErr
+	if err := firstOf(errs); err != nil {
+		return solution, met, err
 	}
 	met.SimTime = s.Eng.Now() - start
 	s.fillMetrics(&met, fermion.DWFKind, ls)

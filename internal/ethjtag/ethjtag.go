@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"qcdoc/internal/event"
 )
@@ -83,12 +84,21 @@ type FaultFunc func(pkt *Packet) FaultVerdict
 // Network is the switched management Ethernet: a tree of 5-port hubs in
 // hardware, modelled as a store-and-forward switch with per-port
 // serialization and a fixed traversal latency.
+//
+// Under a sharded cluster the switch itself lives on the network's
+// engine (the host shard): every packet serializes on its sender's
+// shard, hops to the switch at the end of serialization, passes the
+// fault injector there — serially, so the counted fault stream stays
+// deterministic — and hops again to its destination port's shard at
+// the arrival time. Both hops ride the cluster mailboxes; both exceed
+// the lookahead by construction (the smallest frame's line time is
+// 432 ns at 1 Gbit, and the switch latency is 10 us).
 type Network struct {
 	eng     *event.Engine
 	ports   map[Addr]*Port
 	addrs   []Addr // attached addresses in ascending order, for deterministic broadcast
 	Latency event.Time
-	Dropped uint64 // packets to unknown destinations
+	Dropped uint64 // packets to unknown destinations (updated atomically)
 
 	// Fault, when set, judges every packet entering the switch; see
 	// FaultFunc. Drop and duplication counts are kept for telemetry.
@@ -102,9 +112,11 @@ func NewNetwork(eng *event.Engine) *Network {
 	return &Network{eng: eng, ports: map[Addr]*Port{}, Latency: 10 * event.Microsecond}
 }
 
-// Port is one endpoint.
+// Port is one endpoint. All of its state — serializer, queues, pend
+// ring, counters — belongs to the shard engine it was attached on.
 type Port struct {
 	net       *Network
+	eng       *event.Engine
 	addr      Addr
 	bps       int64
 	rx        *event.Queue[Packet]
@@ -147,16 +159,25 @@ func (p *Port) pushPend(pkt Packet) {
 	p.pendLen++
 }
 
-// Attach adds an endpoint with the given line rate in bits/second.
+// Attach adds an endpoint with the given line rate in bits/second, on
+// the network's own (host) shard.
 func (n *Network) Attach(addr Addr, bps int64) *Port {
+	return n.AttachOn(n.eng, addr, bps)
+}
+
+// AttachOn adds an endpoint whose state lives on the given shard
+// engine — the port of a node assigned to that shard. Setup-time only:
+// the port table is read-only once the simulation runs.
+func (n *Network) AttachOn(eng *event.Engine, addr Addr, bps int64) *Port {
 	if _, dup := n.ports[addr]; dup {
 		panic(fmt.Sprintf("ethjtag: duplicate address %#x", addr))
 	}
 	p := &Port{
 		net:  n,
+		eng:  eng,
 		addr: addr,
 		bps:  bps,
-		rx:   event.NewQueue[Packet](n.eng, fmt.Sprintf("eth %#x", addr)),
+		rx:   event.NewQueue[Packet](eng, fmt.Sprintf("eth %#x", addr)),
 	}
 	n.ports[addr] = p
 	i := sort.Search(len(n.addrs), func(i int) bool { return n.addrs[i] >= addr })
@@ -169,59 +190,74 @@ func (n *Network) Attach(addr Addr, bps int64) *Port {
 // ErrNoRoute is returned for packets to unattached addresses.
 var ErrNoRoute = errors.New("ethjtag: no route to destination")
 
-// Send launches a packet; it serializes at the port's line rate and
-// arrives after the switch latency. Broadcast fans out to every other
-// port.
+// Send launches a packet; it serializes at the port's line rate, enters
+// the switch, and arrives after the switch latency. Broadcast fans out
+// to every other port. Unroutable destinations are rejected here,
+// synchronously (the port table is static after setup).
 func (p *Port) Send(pkt Packet) error {
 	pkt.Src = p.addr
+	if pkt.Dst != Broadcast {
+		if _, ok := p.net.ports[pkt.Dst]; !ok {
+			atomic.AddUint64(&p.net.Dropped, 1)
+			return fmt.Errorf("%w: %#x", ErrNoRoute, pkt.Dst)
+		}
+	}
 	bits := int64(len(pkt.Payload)+frameOverheadBytes) * 8
 	ser := event.Time(float64(bits) / float64(p.bps) * 1e12)
-	start := p.net.eng.Now()
+	start := p.eng.Now()
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
 	p.busyUntil = start + ser
-	arrive := p.busyUntil + p.net.Latency
 	payload := append([]byte(nil), pkt.Payload...)
 	pkt.Payload = payload
 	p.TxPackets++
+	// The frame enters the switch when its last bit leaves the port —
+	// at least one full serialization after now, which comfortably
+	// exceeds the cluster lookahead, so the cross-shard hop never clamps.
+	net := p.net
+	p.eng.CrossAt(net.eng, p.busyUntil, func() { net.route(pkt) })
+	return nil
+}
+
+// route carries one packet through the switch fabric: the fault
+// injector judges it (serially, on the switch's shard, so a counted
+// fault stream sees one deterministic packet order), then it crosses to
+// its destination port's shard at the arrival time.
+func (n *Network) route(pkt Packet) {
 	verdict := FaultNone
-	if p.net.Fault != nil {
-		verdict = p.net.Fault(&pkt)
+	if n.Fault != nil {
+		verdict = n.Fault(&pkt)
 	}
 	if verdict == FaultDrop {
 		// The line time was spent; the switch fabric ate the frame.
-		p.net.FaultDropped++
-		return nil
+		n.FaultDropped++
+		return
 	}
 	if verdict == FaultDup {
-		p.net.FaultDuplicated++
+		n.FaultDuplicated++
 	}
+	arrive := n.eng.Now() + n.Latency
 	if pkt.Dst == Broadcast {
 		// Fan out in address order, not map order: delivery events at
 		// equal times dispatch in scheduling order, so a map-ordered
 		// broadcast would reorder the downstream event stream from run
 		// to run (maprange enforces this; DESIGN.md §11).
-		for _, addr := range p.net.addrs {
-			if addr == p.addr {
+		for _, addr := range n.addrs {
+			if addr == pkt.Src {
 				continue
 			}
-			dst := p.net.ports[addr]
+			dst := n.ports[addr]
 			cp := pkt
-			p.net.eng.At(arrive, func() { dst.deliver(cp) })
+			n.eng.CrossAt(dst.eng, arrive, func() { dst.deliver(cp) })
 		}
-		return nil
+		return
 	}
-	dst, ok := p.net.ports[pkt.Dst]
-	if !ok {
-		p.net.Dropped++
-		return fmt.Errorf("%w: %#x", ErrNoRoute, pkt.Dst)
-	}
-	p.net.eng.At(arrive, func() { dst.deliver(pkt) })
+	dst := n.ports[pkt.Dst]
+	n.eng.CrossAt(dst.eng, arrive, func() { dst.deliver(pkt) })
 	if verdict == FaultDup {
-		p.net.eng.At(arrive, func() { dst.deliver(pkt) })
+		n.eng.CrossAt(dst.eng, arrive, func() { dst.deliver(pkt) })
 	}
-	return nil
 }
 
 func (p *Port) deliver(pkt Packet) {
@@ -231,7 +267,7 @@ func (p *Port) deliver(pkt Packet) {
 		// coroutine receiver takes, so event ordering is tier-invariant.
 		// The packet parks in the pend ring rather than a fresh closure.
 		p.pushPend(pkt)
-		p.net.eng.AtHandler(p.net.eng.Now(), p, 0)
+		p.eng.AtHandler(p.eng.Now(), p, 0)
 		return
 	}
 	p.rx.Put(pkt)
@@ -247,7 +283,7 @@ func (p *Port) OnPacket(fn func(Packet)) {
 	if p.rx.Len() == 0 {
 		return
 	}
-	p.net.eng.At(p.net.eng.Now(), func() {
+	p.eng.At(p.eng.Now(), func() {
 		for {
 			pkt, ok := p.rx.TryGet()
 			if !ok {

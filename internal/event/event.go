@@ -168,7 +168,14 @@ type Engine struct {
 	machines []*StateMachine // registered continuation-tier processes
 	tracer   func(at Time)   // observes every dispatched event, if set
 	rec      *Recorder       // flight recorder, if attached
+	ring     *shardRing      // this shard's ring within rec
 	executed uint64          // events dispatched since New
+
+	// Shard identity when this engine is part of a Cluster (cluster.go).
+	// An unclustered engine is its own shard 0.
+	cluster *Cluster
+	shard   int
+	xevents payloadHeap // cross-shard payload events, merged by (at, seq)
 }
 
 // New creates an engine with the clock at zero.
@@ -213,8 +220,17 @@ func (e *Engine) AfterHandler(d Time, h Handler, arg uint64) {
 	e.AtHandler(e.now+d, h, arg)
 }
 
-// Stop makes Run return after the current event completes.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop makes Run return after the current event completes. On a
+// clustered engine the request is honored at the next window barrier —
+// never mid-window, where observing another shard's request would make
+// the outcome depend on execution interleaving.
+func (e *Engine) Stop() {
+	if e.cluster != nil {
+		e.cluster.stopReq.Store(true)
+		return
+	}
+	e.stopped = true
+}
 
 // ErrStall is reported by Run when live processes remain but no event can
 // ever wake them — the simulated machine has deadlocked. The paper notes
@@ -235,10 +251,24 @@ func (e *ErrStall) Error() string {
 // is passed, or Stop is called. If the queue drains while non-daemon
 // processes are still blocked, Run returns an *ErrStall naming them;
 // blocked daemons (link handlers, clock services) are normal quiescence.
+// On a clustered engine Run must be called on the host shard (shard 0)
+// and drives the whole cluster's window loop.
 func (e *Engine) Run(until Time) error {
+	if e.cluster != nil {
+		if e.shard != 0 {
+			panic("event: Run on a clustered engine must use the host shard")
+		}
+		return e.cluster.run(until)
+	}
+	return e.runLocal(until)
+}
+
+// runLocal is the single-shard event loop.
+func (e *Engine) runLocal(until Time) error {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 {
+		t, ok := e.peekTime()
+		if !ok {
 			names := make([]string, 0, len(e.blocked))
 			for p, what := range e.blocked {
 				if !p.daemon {
@@ -251,24 +281,11 @@ func (e *Engine) Run(until Time) error {
 			}
 			return nil
 		}
-		if e.events[0].at > until {
+		if t > until {
 			e.now = until
 			return nil
 		}
-		next := e.events.pop()
-		e.now = next.at
-		e.executed++
-		if e.tracer != nil {
-			e.tracer(next.at)
-		}
-		if e.rec != nil {
-			e.rec.record(next.at, next.seq, next.fn, next.h, next.arg)
-		}
-		if next.fn != nil {
-			next.fn()
-		} else {
-			next.h.HandleEvent(next.arg)
-		}
+		e.dispatchNext()
 	}
 	return nil
 }
@@ -276,8 +293,17 @@ func (e *Engine) Run(until Time) error {
 // RunAll runs with no horizon.
 func (e *Engine) RunAll() error { return e.Run(Forever) }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of queued events. On the host shard of a
+// cluster it sums every shard's queues (barrier-serial contexts only).
+func (e *Engine) Pending() int {
+	n := len(e.events) + len(e.xevents)
+	if e.cluster != nil && e.shard == 0 {
+		for _, s := range e.cluster.shards[1:] {
+			n += len(s.events) + len(s.xevents)
+		}
+	}
+	return n
+}
 
 // Executed reports the number of events dispatched since the engine was
 // created.
@@ -292,8 +318,27 @@ func (e *Engine) SetTracer(fn func(at Time)) { e.tracer = fn }
 // SetRecorder attaches a flight recorder that captures every dispatched
 // event into its ring (nil detaches). Recording schedules no events and
 // allocates nothing per dispatch, so the simulated event stream is
-// identical with or without it; see trace.go.
-func (e *Engine) SetRecorder(r *Recorder) { e.rec = r }
+// identical with or without it; see trace.go. On the host shard of a
+// cluster the recorder attaches to every shard, each getting its own
+// ring; Dump and the Chrome-trace export merge them by simulated time.
+func (e *Engine) SetRecorder(r *Recorder) {
+	if e.cluster != nil && e.shard == 0 {
+		for _, s := range e.cluster.shards {
+			s.setRecorderLocal(r)
+		}
+		return
+	}
+	e.setRecorderLocal(r)
+}
+
+func (e *Engine) setRecorderLocal(r *Recorder) {
+	e.rec = r
+	if r == nil {
+		e.ring = nil
+	} else {
+		e.ring = r.ringFor(e.shard)
+	}
+}
 
 // Recorder returns the attached flight recorder, or nil.
 func (e *Engine) Recorder() *Recorder { return e.rec }
@@ -356,8 +401,17 @@ func (e *Engine) SpawnDaemon(name string, fn func(*Proc)) *Proc {
 // Shutdown unwinds every parked process so their goroutines exit. The
 // engine is unusable afterwards. Call it when a simulation (and its
 // machine full of daemon link handlers) is finished, particularly in
-// tests that build many machines.
+// tests that build many machines. On a clustered engine it unwinds the
+// whole cluster (worker pool included), whichever shard it is called on.
 func (e *Engine) Shutdown() {
+	if e.cluster != nil {
+		e.cluster.shutdown()
+		return
+	}
+	e.shutdownLocal()
+}
+
+func (e *Engine) shutdownLocal() {
 	e.terminated = true
 	for len(e.blocked) > 0 {
 		for p := range e.blocked {
@@ -470,8 +524,13 @@ type gateWaiter struct {
 // NewGate creates a gate on the engine.
 func NewGate(e *Engine) *Gate { return &Gate{eng: e} }
 
-// Wait suspends p until the next Fire.
+// Wait suspends p until the next Fire. The process must live on the
+// gate's engine: blocking is shard-local state, and a cross-shard wait
+// would let one shard's Fire mutate another shard's parked process.
 func (g *Gate) Wait(p *Proc, what string) {
+	if p.eng != g.eng {
+		panic("event: Gate.Wait across engines (shard boundary)")
+	}
 	g.waiters = append(g.waiters, gateWaiter{p: p})
 	p.yield(what)
 }
@@ -483,6 +542,9 @@ func (g *Gate) Wait(p *Proc, what string) {
 // timeout: the deadline is a simulated-clock event, so timed waits are
 // as deterministic as untimed ones.
 func (g *Gate) WaitUntil(p *Proc, what string, deadline Time) bool {
+	if p.eng != g.eng {
+		panic("event: Gate.WaitUntil across engines (shard boundary)")
+	}
 	if deadline <= g.eng.now {
 		return false
 	}

@@ -1,7 +1,7 @@
 package event
 
-// This file is the flight recorder: a fixed-size ring of trace records
-// captured in the engine's dispatch loop, for reconstructing "what was
+// This file is the flight recorder: fixed-size rings of trace records
+// captured in the engines' dispatch loops, for reconstructing "what was
 // the machine doing" after a hang, a panic, or a surprising result.
 //
 // Recording obeys the telemetry zero-perturbation contract (DESIGN.md
@@ -9,10 +9,18 @@ package event
 // each dispatch overwrites one preallocated ring slot — so the simulated
 // event stream is bit-identical with the recorder attached or not. The
 // expensive parts (naming actors, JSON export) happen only at dump time.
+//
+// With a sharded cluster the recorder holds one ring per shard, each
+// written only by its own shard's dispatch loop (no cross-shard writes,
+// no locks). Tail, Dump and WriteChromeTrace merge the rings by
+// simulated time with a stable (At, Shard, Seq) tie-break, so the
+// exported trace is a deterministic function of the simulation — byte
+// identical at any worker count.
 
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // TraceKind classifies a dispatched event.
@@ -25,69 +33,77 @@ const (
 	// TraceHandler is a pre-bound Handler event (the continuation tier's
 	// hot paths: wires, link pumps, timers).
 	TraceHandler
+	// TracePayload is a cross-shard payload event (a PayloadHandler
+	// delivery that crossed a shard boundary through the cluster
+	// mailboxes).
+	TracePayload
 )
 
 func (k TraceKind) String() string {
-	if k == TraceHandler {
+	switch k {
+	case TraceHandler:
 		return "handler"
+	case TracePayload:
+		return "payload"
 	}
 	return "func"
 }
 
-// TraceRecord is one dispatched event: its time, stable sequence number,
-// kind, and — for handler events — the target and argument.
+// TraceRecord is one dispatched event: its time, shard, stable per-shard
+// sequence number, kind, and — for handler events — the target and
+// argument.
 type TraceRecord struct {
-	At   Time
-	Seq  uint64
-	Kind TraceKind
-	Arg  uint64
-	h    Handler
+	At    Time
+	Seq   uint64
+	Shard int
+	Kind  TraceKind
+	Arg   uint64
+	h     Handler
+	ph    PayloadHandler
 }
 
 // Actor names the event target: the dynamic type of the handler, or
 // "func" for closure events (closures have no useful identity). The
 // type formatting runs only here, never on the record path.
 func (r TraceRecord) Actor() string {
-	if r.Kind == TraceHandler && r.h != nil {
+	switch {
+	case r.Kind == TraceHandler && r.h != nil:
 		return fmt.Sprintf("%T", r.h)
+	case r.Kind == TracePayload && r.ph != nil:
+		return fmt.Sprintf("%T", r.ph)
 	}
 	return "func"
 }
 
 func (r TraceRecord) String() string {
-	if r.Kind == TraceHandler {
-		return fmt.Sprintf("%v seq=%d %s arg=%d", r.At, r.Seq, r.Actor(), r.Arg)
+	switch r.Kind {
+	case TraceHandler, TracePayload:
+		return fmt.Sprintf("%v shard=%d seq=%d %s arg=%d", r.At, r.Shard, r.Seq, r.Actor(), r.Arg)
 	}
-	return fmt.Sprintf("%v seq=%d func", r.At, r.Seq)
+	return fmt.Sprintf("%v shard=%d seq=%d func", r.At, r.Shard, r.Seq)
 }
 
-// DefaultRecorderSize is the ring capacity when none is given.
+// DefaultRecorderSize is the per-shard ring capacity when none is given.
 const DefaultRecorderSize = 4096
 
-// Recorder is the flight-recorder ring. Attach it to an engine with
-// SetRecorder; it keeps the most recent Cap() dispatched events.
-type Recorder struct {
+// shardRing is one shard's ring. Only that shard's dispatch loop writes
+// it; merging happens at dump time on quiesced engines.
+type shardRing struct {
+	shard int
 	ring  []TraceRecord
 	total uint64 // events recorded since creation
 }
 
-// NewRecorder creates a recorder holding the last size events (size <= 0
-// selects DefaultRecorderSize).
-func NewRecorder(size int) *Recorder {
-	if size <= 0 {
-		size = DefaultRecorderSize
-	}
-	return &Recorder{ring: make([]TraceRecord, size)}
-}
-
-// record stores one dispatch into the ring. Called from Engine.Run with
-// the item by value so nothing escapes to the heap.
+// record stores one dispatch into the ring. Called from the dispatch
+// loop with the item by value so nothing escapes to the heap.
 //qcdoc:noalloc
-func (r *Recorder) record(at Time, seq uint64, fn func(), h Handler, arg uint64) {
-	slot := &r.ring[r.total%uint64(len(r.ring))]
+func (sr *shardRing) record(at Time, seq uint64, fn func(), h Handler, arg uint64) {
+	slot := &sr.ring[sr.total%uint64(len(sr.ring))]
 	slot.At = at
 	slot.Seq = seq
+	slot.Shard = sr.shard
 	slot.Arg = arg
+	slot.ph = nil
 	if fn != nil {
 		slot.Kind = TraceFunc
 		slot.h = nil
@@ -95,46 +111,124 @@ func (r *Recorder) record(at Time, seq uint64, fn func(), h Handler, arg uint64)
 		slot.Kind = TraceHandler
 		slot.h = h
 	}
-	r.total++
+	sr.total++
 }
 
-// Total reports how many events have been recorded since creation
-// (including ones the ring has since overwritten).
-func (r *Recorder) Total() uint64 { return r.total }
+// recordPayload stores one cross-shard payload dispatch into the ring.
+//qcdoc:noalloc
+func (sr *shardRing) recordPayload(at Time, seq uint64, h PayloadHandler, arg uint64) {
+	slot := &sr.ring[sr.total%uint64(len(sr.ring))]
+	slot.At = at
+	slot.Seq = seq
+	slot.Shard = sr.shard
+	slot.Arg = arg
+	slot.Kind = TracePayload
+	slot.h = nil
+	slot.ph = h
+	sr.total++
+}
 
-// Cap reports the ring capacity.
-func (r *Recorder) Cap() int { return len(r.ring) }
-
-// Tail returns up to n of the most recent records, oldest first. It
-// copies (a cold-path allocation); the ring keeps recording.
-func (r *Recorder) Tail(n int) []TraceRecord {
-	have := r.total
-	if have > uint64(len(r.ring)) {
-		have = uint64(len(r.ring))
+// tail returns up to n of this ring's most recent records, oldest first.
+func (sr *shardRing) tail(n int) []TraceRecord {
+	have := sr.total
+	if have > uint64(len(sr.ring)) {
+		have = uint64(len(sr.ring))
 	}
 	if n > 0 && uint64(n) < have {
 		have = uint64(n)
 	}
 	out := make([]TraceRecord, have)
 	for i := uint64(0); i < have; i++ {
-		out[i] = r.ring[(r.total-have+i)%uint64(len(r.ring))]
+		out[i] = sr.ring[(sr.total-have+i)%uint64(len(sr.ring))]
+	}
+	return out
+}
+
+// Recorder is the flight recorder. Attach it to an engine with
+// SetRecorder; each shard that records through it gets its own ring
+// keeping that shard's most recent Cap() dispatched events.
+type Recorder struct {
+	cap   int
+	rings []*shardRing
+}
+
+// NewRecorder creates a recorder whose rings hold the last size events
+// per shard (size <= 0 selects DefaultRecorderSize).
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultRecorderSize
+	}
+	return &Recorder{cap: size}
+}
+
+// ringFor returns (creating on first use) the ring for a shard index.
+func (r *Recorder) ringFor(shard int) *shardRing {
+	for _, sr := range r.rings {
+		if sr.shard == shard {
+			return sr
+		}
+	}
+	sr := &shardRing{shard: shard, ring: make([]TraceRecord, r.cap)}
+	r.rings = append(r.rings, sr)
+	sort.Slice(r.rings, func(i, j int) bool { return r.rings[i].shard < r.rings[j].shard })
+	return sr
+}
+
+// Total reports how many events have been recorded since creation across
+// all shards (including ones the rings have since overwritten).
+func (r *Recorder) Total() uint64 {
+	var t uint64
+	for _, sr := range r.rings {
+		t += sr.total
+	}
+	return t
+}
+
+// Cap reports the per-shard ring capacity.
+func (r *Recorder) Cap() int { return r.cap }
+
+// Tail returns up to n of the most recent records (0 = everything still
+// in the rings), merged across shards in (At, Shard, Seq) order. It
+// copies (a cold-path call on quiesced engines); the rings keep
+// recording.
+func (r *Recorder) Tail(n int) []TraceRecord {
+	var out []TraceRecord
+	for _, sr := range r.rings {
+		out = append(out, sr.tail(0)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
 	}
 	return out
 }
 
 // Dump writes up to n of the most recent records to w, oldest first —
-// the on-demand (or deferred-on-panic) human-readable dump.
+// the on-demand (or deferred-on-panic) human-readable dump. Records
+// from all shards interleave in simulated-time order.
 func (r *Recorder) Dump(w io.Writer, n int) {
 	tail := r.Tail(n)
-	fmt.Fprintf(w, "flight recorder: %d of %d recorded events\n", len(tail), r.total)
+	fmt.Fprintf(w, "flight recorder: %d of %d recorded events\n", len(tail), r.Total())
 	for _, rec := range tail {
 		fmt.Fprintf(w, "  %s\n", rec)
 	}
 }
 
 // WriteChromeTrace exports up to n of the most recent records (0 = the
-// whole ring) as Chrome trace-event JSON ("instant" events, simulated
-// microseconds on the timeline) loadable in chrome://tracing or Perfetto.
+// whole ring set) as Chrome trace-event JSON ("instant" events,
+// simulated microseconds on the timeline) loadable in chrome://tracing
+// or Perfetto. Each shard appears as its own tid; record order is the
+// deterministic (At, Shard, Seq) merge, so the export is byte-identical
+// for a given simulation at any worker count.
 func (r *Recorder) WriteChromeTrace(w io.Writer, n int) error {
 	tail := r.Tail(n)
 	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
@@ -146,8 +240,8 @@ func (r *Recorder) WriteChromeTrace(w io.Writer, n int) error {
 			sep = ""
 		}
 		_, err := fmt.Fprintf(w,
-			"{\"name\":%q,\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":%.6f,\"args\":{\"seq\":%d,\"kind\":%q,\"arg\":%d}}%s\n",
-			rec.Actor(), float64(rec.At)/1e6, rec.Seq, rec.Kind.String(), rec.Arg, sep)
+			"{\"name\":%q,\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":%d,\"ts\":%.6f,\"args\":{\"seq\":%d,\"kind\":%q,\"arg\":%d}}%s\n",
+			rec.Actor(), rec.Shard, float64(rec.At)/1e6, rec.Seq, rec.Kind.String(), rec.Arg, sep)
 		if err != nil {
 			return err
 		}

@@ -201,7 +201,14 @@ func Generate(seed uint64, spec Spec, nodes int) *Plan {
 // machinery. Unsolicited node-to-host reports have no retransmission
 // layer — losing one is a real gap in the §3.1 protocol, not a
 // recoverable fault, and injecting it would just wedge the run.
+//
+// On a sharded machine the victim's lifecycle state and outbound wires
+// belong to its shard engine, so each injection crosses to that shard
+// (CrossAt degrades to a plain At on an unsharded build); the OnFire
+// observation crosses back so every observer callback runs serially on
+// the arming engine, whatever shard the fault struck.
 func (p *Plan) Arm(eng *event.Engine, m *machine.Machine, net *ethjtag.Network) {
+	base := eng.Now()
 	for i := range p.Faults {
 		f := &p.Faults[i]
 		if f.Spent {
@@ -211,22 +218,31 @@ func (p *Plan) Arm(eng *event.Engine, m *machine.Machine, net *ethjtag.Network) 
 		case NetDrop, NetDup:
 			continue // handled by the composite hook below
 		}
+		// Clamp the victim rank to the (possibly smaller, repartitioned)
+		// machine before picking its shard.
 		fault := *f
-		eng.After(f.At, func() {
+		rank := f.Rank % len(m.Nodes)
+		tgt := m.NodeEngine(rank)
+		eng.CrossAt(tgt, base+f.At, func() {
 			if f.Spent {
 				return
 			}
 			f.Spent = true
-			p.inject(eng, m, fault)
+			p.inject(tgt, m, rank, fault)
+			if p.OnFire != nil {
+				ff := fault
+				ff.Rank = rank
+				tgt.CrossAt(eng, tgt.Now(), func() { p.OnFire(ff) })
+			}
 		})
 	}
 	p.armNetFaults(net)
 }
 
-// inject applies one node/link fault to the machine, clamping the
-// victim rank to the (possibly smaller, repartitioned) machine.
-func (p *Plan) inject(eng *event.Engine, m *machine.Machine, f Fault) {
-	rank := f.Rank % len(m.Nodes)
+// inject applies one node/link fault to the machine. eng is the
+// victim's shard engine: the LinkBurst end timer must live where the
+// wire's transmit state does.
+func (p *Plan) inject(eng *event.Engine, m *machine.Machine, rank int, f Fault) {
 	switch f.Kind {
 	case NodeCrash:
 		m.Nodes[rank].Crash()
@@ -238,11 +254,6 @@ func (p *Plan) inject(eng *event.Engine, m *machine.Machine, f Fault) {
 		w := m.Wire(rank, f.Link)
 		w.SetFault(hssl.FlipBitEvery(f.Every))
 		eng.After(f.Dur, func() { w.SetFault(nil) })
-	}
-	if p.OnFire != nil {
-		ff := f
-		ff.Rank = rank
-		p.OnFire(ff)
 	}
 }
 

@@ -78,7 +78,8 @@ const (
 // is strictly FIFO: a frame cannot start until the previous one has left
 // the transmitter.
 type Wire struct {
-	eng     *event.Engine
+	eng     *event.Engine // transmitter's engine: Send, training, fault state
+	rxEng   *event.Engine // receiver's engine: delivery, rx queue, OnFrame
 	name    string
 	clock   event.Hz
 	prop    event.Time
@@ -90,7 +91,8 @@ type Wire struct {
 	seq       uint64
 	fault     FaultFunc
 	stats     Stats
-	dead      bool // permanent hardware failure; see Kill
+	dead      bool  // permanent hardware failure; see Kill
+	xmit      Frame // scratch slot for fault injection on the cross-shard path
 
 	// In-flight frames, a reusable ring: Send pushes at the tail, the
 	// delivery events pop the head. Arrival order equals send order (the
@@ -106,13 +108,41 @@ type Wire struct {
 // NewWire creates a wire on the engine. clock is the serial bit rate;
 // prop the time-of-flight to the receiver.
 func NewWire(eng *event.Engine, name string, clock event.Hz, prop event.Time) *Wire {
+	return NewWireBetween(eng, eng, name, clock, prop)
+}
+
+// NewWireBetween creates a wire whose transmitter and receiver live on
+// different shard engines of one cluster. The transmit half (Send,
+// training, the fault hook) runs on tx; deliveries, the receive queue
+// and OnFrame handlers run on rx. When the two engines differ, frames
+// cross the shard boundary by value through the cluster's mailboxes at
+// their modelled arrival time — which the conservative lookahead
+// (MinLatency) guarantees is always at least one window away.
+func NewWireBetween(tx, rx *event.Engine, name string, clock event.Hz, prop event.Time) *Wire {
 	return &Wire{
-		eng:   eng,
+		eng:   tx,
+		rxEng: rx,
 		name:  name,
 		clock: clock,
 		prop:  prop,
-		rx:    event.NewQueue[Frame](eng, "hssl "+name),
+		rx:    event.NewQueue[Frame](rx, "hssl "+name),
 	}
+}
+
+// MinTransmittedFrameBytes is the smallest frame the SCU ever puts on a
+// wire: the 2-byte acknowledgement / partition-interrupt frame. (The
+// 1-byte Idle frame exists in the wire format but trained controllers
+// exchange idles implicitly; the simulator never transmits one — and
+// the cross-shard path asserts it, see event.Scheduler.CrossPayload.)
+const MinTransmittedFrameBytes = scupkt.AckFrame
+
+// MinLatency returns the guaranteed minimum time between an HSSL send
+// and its visibility at the receiver: the serialization time of the
+// smallest transmitted frame plus the time of flight. This is the
+// conservative lookahead of the sharded cluster (hep-lat/0210034
+// quantifies both terms; DESIGN.md §13 derives the bound).
+func MinLatency(clock event.Hz, prop event.Time) event.Time {
+	return clock.Cycles(int64(MinTransmittedFrameBytes)*8) + prop
 }
 
 // SetFault installs (or clears, with nil) the fault injector.
@@ -216,6 +246,19 @@ func (w *Wire) Send(data scupkt.Wire) (event.Time, error) {
 		return arrive, nil
 	}
 
+	// Cross-shard wire: the frame leaves this shard by value through the
+	// cluster mailbox, timed at its modelled arrival. Fault injection
+	// mutates the wire's scratch slot (tx-side state) rather than a stack
+	// frame, keeping the path allocation-free.
+	if w.rxEng != w.eng {
+		w.xmit = Frame{Wire: data, Seq: w.seq}
+		if w.fault != nil && w.fault(&w.xmit) {
+			w.stats.Corrupted++
+		}
+		w.eng.CrossPayload(w.rxEng, arrive, w, 0, packFrame(&w.xmit))
+		return arrive, nil
+	}
+
 	// Push first, then let the fault injector mutate the ring slot in
 	// place: taking the address of a stack frame here would defeat escape
 	// analysis and put one Frame on the heap per send, fault or no fault.
@@ -228,6 +271,58 @@ func (w *Wire) Send(data scupkt.Wire) (event.Time, error) {
 	}
 	w.eng.AtHandler(arrive, w, wireArrive)
 	return arrive, nil
+}
+
+// packFrame flattens a frame into a cross-shard payload value: the wire
+// sequence number, the byte count, and up to MaxFrameBytes of frame
+// bytes packed little-endian into two words.
+//qcdoc:noalloc
+func packFrame(f *Frame) event.Payload {
+	var p event.Payload
+	p[0] = f.Seq
+	b := f.Bytes()
+	p[1] = uint64(len(b))
+	for i, x := range b {
+		if i < 8 {
+			p[2] |= uint64(x) << (8 * i)
+		} else {
+			p[3] |= uint64(x) << (8 * (i - 8))
+		}
+	}
+	return p
+}
+
+// unpackFrame inverts packFrame on the receiving shard.
+//qcdoc:noalloc
+func unpackFrame(p event.Payload) Frame {
+	n := int(p[1])
+	var buf [scupkt.MaxFrameBytes]byte
+	for i := 0; i < n; i++ {
+		if i < 8 {
+			buf[i] = byte(p[2] >> (8 * i))
+		} else {
+			buf[i] = byte(p[3] >> (8 * (i - 8)))
+		}
+	}
+	return Frame{Wire: scupkt.WireOf(buf[:n]), Seq: p[0]}
+}
+
+// HandlePayload receives one cross-shard frame on the receiver's
+// engine; it implements event.PayloadHandler and is not meant to be
+// called directly. The handler deferral mirrors HandleEvent's arrive →
+// handle staging so intra-timestamp ordering matches the same-shard
+// path.
+//qcdoc:noalloc
+func (w *Wire) HandlePayload(_ uint64, p event.Payload) {
+	f := unpackFrame(p)
+	if w.handler == nil {
+		w.rx.Put(f)
+		return
+	}
+	// On a cross-shard wire the transmitter never touches the in-flight
+	// ring, so the receive side reuses it as its pending-frame ring.
+	w.pushInFlight(f)
+	w.rxEng.AtHandler(w.rxEng.Now(), w, wireHandle)
 }
 
 // HandleEvent dispatches the wire's delivery pipeline stages; it
@@ -285,7 +380,7 @@ func (w *Wire) OnFrame(fn func(Frame)) {
 	if w.rx.Len() == 0 {
 		return
 	}
-	w.eng.At(w.eng.Now(), func() {
+	w.rxEng.At(w.rxEng.Now(), func() {
 		for {
 			f, ok := w.rx.TryGet()
 			if !ok {

@@ -9,6 +9,7 @@ package machine
 
 import (
 	"fmt"
+	"runtime"
 
 	"qcdoc/internal/event"
 	"qcdoc/internal/geom"
@@ -32,7 +33,23 @@ type Config struct {
 	DDRBytes int
 	// WireProp is the node-to-node time of flight.
 	WireProp event.Time
+	// Shards selects event-engine sharding for conservative parallel
+	// simulation (DESIGN.md §13): 0 builds the classic single-engine
+	// machine; ShardAuto partitions along the packaging hierarchy
+	// (daughterboards below a motherboard's worth of nodes, whole
+	// motherboards at scale); n > 0 asks for about n shards, rounded to
+	// whole daughterboards. The shard plan is a pure function of Shape
+	// and Shards — never of Workers — which is what makes outcome
+	// digests worker-count-invariant.
+	Shards int
+	// Workers bounds how many shards execute concurrently (0 = one per
+	// available CPU). Sharded builds need a fresh engine (no events run
+	// yet); Build panics otherwise.
+	Workers int
 }
+
+// ShardAuto selects the packaging-derived shard plan.
+const ShardAuto = -1
 
 // DefaultConfig returns the paper's target configuration for a given
 // shape.
@@ -64,6 +81,14 @@ type Machine struct {
 	// Global clock state for partition-interrupt windows.
 	windowPeriod event.Time
 	clockArmed   bool
+
+	// Sharding state (nil/empty on a single-engine build). shardOf maps
+	// a node rank to its shard; armAt holds per-rank sampling-clock arm
+	// requests (each written only by the rank's own shard, harvested at
+	// the window barrier).
+	cluster *event.Cluster
+	shardOf []int
+	armAt   []event.Time
 }
 
 // Build constructs the machine: nodes, torus wiring, and SCU attachment.
@@ -80,20 +105,24 @@ func Build(eng *event.Engine, cfg Config) *Machine {
 	}
 	m := &Machine{Eng: eng, Cfg: cfg}
 	v := cfg.Shape.Volume()
+	m.buildCluster(eng, cfg, v)
 	m.Nodes = make([]*node.Node, v)
 	m.wires = make([][]*hssl.Wire, v)
 	for r := 0; r < v; r++ {
-		m.Nodes[r] = node.New(eng, r, cfg.Shape.CoordOf(r), cfg.Clock, cfg.SCU, cfg.DDRBytes)
+		m.Nodes[r] = node.New(m.NodeEngine(r), r, cfg.Shape.CoordOf(r), cfg.Clock, cfg.SCU, cfg.DDRBytes)
 		m.wires[r] = make([]*hssl.Wire, geom.NumLinks)
 	}
 	// One outbound wire per (node, link); the inbound wire of link l on
-	// node n is the neighbour's outbound wire on the opposite link.
+	// node n is the neighbour's outbound wire on the opposite link. The
+	// wire's transmit half lives on the sender's shard, its receive half
+	// on the neighbour's.
 	for r := 0; r < v; r++ {
 		c := cfg.Shape.CoordOf(r)
 		for _, l := range geom.AllLinks() {
+			nb := cfg.Shape.Rank(cfg.Shape.Neighbor(c, l.Dim, l.Dir))
 			name := fmt.Sprintf("w%d%v", r, l)
-			m.wires[r][geom.LinkIndex(l)] = hssl.NewWire(eng, name, cfg.Clock, cfg.WireProp)
-			_ = c
+			m.wires[r][geom.LinkIndex(l)] = hssl.NewWireBetween(
+				m.NodeEngine(r), m.NodeEngine(nb), name, cfg.Clock, cfg.WireProp)
 		}
 	}
 	for r := 0; r < v; r++ {
@@ -114,12 +143,86 @@ func Build(eng *event.Engine, cfg Config) *Machine {
 		m.windowPeriod = min
 	}
 	// Arm the sampling clock whenever any SCU raises a partition
-	// interrupt.
-	for _, n := range m.Nodes {
-		n.SCU.WindowArm = m.armClock
+	// interrupt. On a sharded build the request lands in the rank's own
+	// arm slot and is harvested at the window barrier; see
+	// sampleClockBarrier.
+	for r, n := range m.Nodes {
+		if m.cluster == nil {
+			n.SCU.WindowArm = m.armClock
+			continue
+		}
+		slot := &m.armAt[r]
+		eng := m.NodeEngine(r)
+		n.SCU.WindowArm = func() {
+			if *slot < 0 {
+				*slot = eng.Now()
+			}
+		}
+	}
+	if m.cluster != nil {
+		m.cluster.OnBarrier(m.sampleClockBarrier)
 	}
 	m.registerTelemetry()
 	return m
+}
+
+// buildCluster partitions the machine's ranks into shard engines
+// according to cfg.Shards. Contiguous rank blocks follow the packaging
+// hierarchy: ranks 2k and 2k+1 share a daughterboard, blocks of 64 a
+// motherboard.
+func (m *Machine) buildCluster(eng *event.Engine, cfg Config, v int) {
+	per := shardNodesPer(cfg, v)
+	if per <= 0 || per >= v {
+		return // single engine
+	}
+	n := (v + per - 1) / per
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	look := hssl.MinLatency(cfg.Clock, cfg.WireProp)
+	m.cluster = event.Clusterize(eng, n, workers, look)
+	m.shardOf = make([]int, v)
+	for r := 0; r < v; r++ {
+		m.shardOf[r] = r / per
+	}
+	m.armAt = make([]event.Time, v)
+	for r := range m.armAt {
+		m.armAt[r] = -1
+	}
+}
+
+// shardNodesPer returns the nodes-per-shard block size for a config, or
+// 0 for a single-engine build. Depends only on Shape volume and Shards.
+func shardNodesPer(cfg Config, v int) int {
+	switch {
+	case cfg.Shards == 0 || v < 2:
+		return 0
+	case cfg.Shards == ShardAuto:
+		if v >= NodesPerMotherboard*MotherboardsPerCrate {
+			return NodesPerMotherboard
+		}
+		return NodesPerDaughterboard
+	default:
+		per := (v + cfg.Shards - 1) / cfg.Shards
+		// Round up to whole daughterboards so board pairs stay together.
+		if rem := per % NodesPerDaughterboard; rem != 0 {
+			per += NodesPerDaughterboard - rem
+		}
+		return per
+	}
+}
+
+// Cluster returns the shard cluster, or nil on a single-engine build.
+func (m *Machine) Cluster() *event.Cluster { return m.cluster }
+
+// NodeEngine returns the shard engine that owns a node rank (the
+// machine engine on a single-engine build).
+func (m *Machine) NodeEngine(rank int) *event.Engine {
+	if m.cluster == nil {
+		return m.Eng
+	}
+	return m.cluster.Shard(m.shardOf[rank])
 }
 
 // NumNodes returns the machine size.
@@ -142,7 +245,7 @@ func (m *Machine) Wire(rank int, l geom.Link) *hssl.Wire {
 func (m *Machine) TrainLinks() error {
 	for r := range m.Nodes {
 		wires := m.wires[r]
-		sm := m.Eng.NewStateMachine(fmt.Sprintf("train%d", r), "training")
+		sm := m.NodeEngine(r).NewStateMachine(fmt.Sprintf("train%d", r), "training")
 		var next func(i int)
 		next = func(i int) {
 			if i == len(wires) {
@@ -187,7 +290,7 @@ func (m *Machine) Boot() error {
 func (m *Machine) MarkBooted() { m.booted = true }
 
 // armClock schedules a partition-interrupt sampling tick if none is
-// pending.
+// pending (single-engine build).
 func (m *Machine) armClock() {
 	if m.clockArmed {
 		return
@@ -199,7 +302,10 @@ func (m *Machine) armClock() {
 func (m *Machine) windowTick() {
 	m.clockArmed = false
 	again := false
-	for _, n := range m.Nodes {
+	// armClock registers this tick only on single-engine builds, where
+	// every node shares the one engine; the sharded machine samples via
+	// windowTickGlobal instead.
+	for _, n := range m.Nodes { //qcdoclint:shard-ok single-engine build only
 		n.SCU.WindowTick()
 		if n.SCU.PartIRQPending() != n.SCU.PartIRQStatus() {
 			again = true
@@ -207,6 +313,50 @@ func (m *Machine) windowTick() {
 	}
 	if again {
 		m.armClock()
+	}
+}
+
+
+// sampleClockBarrier runs at every cluster window barrier: it harvests
+// the per-rank arm requests and schedules the machine-wide sampling
+// tick as a global event. The tick time is always schedulable — a
+// request raised during a window precedes every shard clock by at most
+// one lookahead, and the window period is at least twice the lookahead.
+func (m *Machine) sampleClockBarrier() {
+	minArm := event.Time(-1)
+	for i := range m.armAt {
+		if t := m.armAt[i]; t >= 0 {
+			if minArm < 0 || t < minArm {
+				minArm = t
+			}
+			m.armAt[i] = -1
+		}
+	}
+	if minArm < 0 || m.clockArmed {
+		// No request, or the pending tick already covers it (it re-arms
+		// itself while interrupt bits remain unsampled).
+		return
+	}
+	m.clockArmed = true
+	m.cluster.AtGlobal(minArm+m.windowPeriod, m.windowTickGlobal)
+}
+
+// windowTickGlobal is windowTick as a machine-wide global event: it
+// runs serially with every shard clock aligned, which is what lets it
+// touch all nodes' SCUs — the one legitimately machine-wide piece of
+// hardware, the motherboard-distributed slow clock (§2.4).
+func (m *Machine) windowTickGlobal() {
+	m.clockArmed = false
+	again := false
+	for _, n := range m.Nodes {
+		n.SCU.WindowTick()
+		if n.SCU.PartIRQPending() != n.SCU.PartIRQStatus() {
+			again = true
+		}
+	}
+	if again {
+		m.clockArmed = true
+		m.cluster.AtGlobal(m.Eng.Now()+m.windowPeriod, m.windowTickGlobal)
 	}
 }
 

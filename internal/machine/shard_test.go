@@ -1,0 +1,163 @@
+package machine
+
+import (
+	"bytes"
+	"hash/fnv"
+	"testing"
+
+	"qcdoc/internal/event"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/node"
+	"qcdoc/internal/qmp"
+	"qcdoc/internal/scu"
+)
+
+// shardedTraceRun is traceRun on a sharded machine: one FNV tracer per
+// shard (a shared tracer closure would race across workers), combined
+// in shard order into one digest, plus the merged flight-recorder
+// Chrome trace, which must be byte-identical at any worker count.
+func shardedTraceRun(t *testing.T, shape geom.Shape, shards, workers int) (eventDigest, linkDigest uint64, end event.Time, trace string) {
+	t.Helper()
+	eng := event.New()
+	cfg := DefaultConfig(shape)
+	cfg.Shards = shards
+	cfg.Workers = workers
+	m := Build(eng, cfg)
+	cl := m.Cluster()
+	if cl == nil {
+		t.Fatalf("config %+v built no cluster", cfg)
+	}
+	hashes := make([]interface{ Sum64() uint64 }, cl.NumShards())
+	for i := 0; i < cl.NumShards(); i++ {
+		h := fnv.New64a()
+		hashes[i] = h
+		var buf [8]byte
+		cl.Shard(i).SetTracer(func(at event.Time) {
+			for j := range buf {
+				buf[j] = byte(uint64(at) >> (8 * j))
+			}
+			h.Write(buf[:])
+		})
+	}
+	rec := event.NewRecorder(1 << 14)
+	eng.SetRecorder(rec)
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Shutdown()
+	fold := geom.IdentityFold(shape)
+	m.Nodes[1].SCU.RaisePartIRQ(0x04)
+	err := m.RunSPMD("trace", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			n := ctx.N
+			sendAddr := n.AllocWords(16)
+			recvAddr := n.AllocWords(16)
+			for i := 0; i < 16; i++ {
+				n.Mem.WriteWord(sendAddr+8*uint64(i), uint64(rank)<<32|uint64(i))
+			}
+			rt, err := n.SCU.StartRecv(geom.Link{Dim: 0, Dir: geom.Bwd}, scu.Contiguous(recvAddr, 16))
+			if err != nil {
+				panic(err)
+			}
+			st, err := n.SCU.StartSend(geom.Link{Dim: 0, Dir: geom.Fwd}, scu.Contiguous(sendAddr, 16))
+			if err != nil {
+				panic(err)
+			}
+			st.Wait(ctx.P)
+			rt.Wait(ctx.P)
+			c := qmp.New(ctx, fold)
+			c.GlobalSumFloat64Doubled(ctx.P, float64(rank)+0.5)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	eh := fnv.New64a()
+	var buf [8]byte
+	for _, h := range hashes {
+		w := h.Sum64()
+		for i := range buf {
+			buf[i] = byte(w >> (8 * i))
+		}
+		eh.Write(buf[:])
+	}
+	lh := fnv.New64a()
+	for _, n := range m.Nodes {
+		for _, l := range geom.AllLinks() {
+			tx, rx := n.SCU.Checksums(l)
+			for _, w := range []uint64{tx.Sum(), tx.Count(), rx.Sum(), rx.Count()} {
+				for i := range buf {
+					buf[i] = byte(w >> (8 * i))
+				}
+				lh.Write(buf[:])
+			}
+		}
+	}
+	var tb bytes.Buffer
+	if err := rec.WriteChromeTrace(&tb, 0); err != nil {
+		t.Fatal(err)
+	}
+	return eh.Sum64(), lh.Sum64(), eng.Now(), tb.String()
+}
+
+// TestShardedDeterministicReplay is the sharded analogue of
+// TestDeterministicReplay, and more: the per-shard event streams, link
+// checksums, final clock, and the merged flight-recorder trace must be
+// identical across runs AND across worker counts 1, 2, 4, 8 — workers
+// only choose which OS thread executes a shard's window, never what the
+// window contains.
+func TestShardedDeterministicReplay(t *testing.T) {
+	shape := geom.MakeShape(4, 2, 2)
+	e0, l0, t0, tr0 := shardedTraceRun(t, shape, ShardAuto, 1)
+	if tr0 == "" {
+		t.Fatal("recorder produced no trace")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		e, l, tend, tr := shardedTraceRun(t, shape, ShardAuto, workers)
+		if e != e0 {
+			t.Fatalf("workers=%d: event digest %#x, want %#x", workers, e, e0)
+		}
+		if l != l0 {
+			t.Fatalf("workers=%d: link digest %#x, want %#x", workers, l, l0)
+		}
+		if tend != t0 {
+			t.Fatalf("workers=%d: final time %v, want %v", workers, tend, t0)
+		}
+		if tr != tr0 {
+			t.Fatalf("workers=%d: merged recorder trace differs from workers=1", workers)
+		}
+	}
+}
+
+// TestShardPlanIsTopologyOnly pins the structural invariant behind
+// worker-count-invariant digests: the shard plan depends only on the
+// shape and the Shards setting, never on Workers.
+func TestShardPlanIsTopologyOnly(t *testing.T) {
+	shape := geom.MakeShape(4, 2, 2)
+	for _, workers := range []int{1, 3, 8} {
+		cfg := DefaultConfig(shape)
+		cfg.Shards = ShardAuto
+		cfg.Workers = workers
+		m := Build(event.New(), cfg)
+		defer m.Eng.Shutdown()
+		if got := m.Cluster().NumShards(); got != 8 {
+			t.Fatalf("workers=%d: %d shards, want 8 (one per daughterboard)", workers, got)
+		}
+		for r := range m.Nodes {
+			if want := r / NodesPerDaughterboard; m.shardOf[r] != want {
+				t.Fatalf("rank %d on shard %d, want %d", r, m.shardOf[r], want)
+			}
+		}
+	}
+	// Explicit shard counts round to daughterboard blocks.
+	cfg := DefaultConfig(shape)
+	cfg.Shards = 3
+	m := Build(event.New(), cfg)
+	defer m.Eng.Shutdown()
+	if got := m.Cluster().NumShards(); got != 3 {
+		t.Fatalf("Shards=3: got %d shards", got)
+	}
+}

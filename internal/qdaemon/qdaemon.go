@@ -124,13 +124,17 @@ func New(eng *event.Engine, m *machine.Machine) *Daemon {
 		emit("failures", d.rpcStats.Failures)
 	})
 	for r, n := range m.Nodes {
-		eth := d.Net.Attach(ethjtag.NodeEthAddr(r), ethjtag.NodeEthernetBps)
-		jp := d.Net.Attach(ethjtag.NodeJTAGAddr(r), ethjtag.NodeEthernetBps)
+		// Node-side ports live on the node's shard engine, so kernel and
+		// JTAG service run where the node's state does; the host ports
+		// above stay on the network's engine.
+		neng := m.NodeEngine(r)
+		eth := d.Net.AttachOn(neng, ethjtag.NodeEthAddr(r), ethjtag.NodeEthernetBps)
+		jp := d.Net.AttachOn(neng, ethjtag.NodeJTAGAddr(r), ethjtag.NodeEthernetBps)
 		k := qos.NewKernel(n, eth, ethjtag.HostAddr)
 		k.NFS = ethjtag.HostAddr + 1
-		k.Start(eng)
+		k.Start(neng)
 		ctl := &ethjtag.JTAGController{Port: jp, Target: nodeTarget{n}}
-		ctl.Start(eng)
+		ctl.Start(neng)
 		d.Kernels = append(d.Kernels, k)
 		d.JTAGs = append(d.JTAGs, ctl)
 	}
