@@ -22,7 +22,13 @@ BENCH_SET = ^(BenchmarkEngineDispatch|BenchmarkGlobalSumMachine|BenchmarkTelemet
 # the window-barrier overhead instead (README "Parallel engine").
 BENCH_PARALLEL_SET = ^(BenchmarkE1FunctionalWilsonParallel|BenchmarkE11RackScale)$$
 
-.PHONY: check vet lint fuzz build test race bench benchall tables chaos
+# The fleet benchmark: a four-seed chaos campaign through the fleet
+# scheduler at workers=1 and workers=8. Pinned in BENCH_fleet.json; the
+# meta block records GOMAXPROCS/NumCPU so campaign throughput is always
+# read against the host it was measured on (DESIGN.md §14).
+BENCH_FLEET_SET = ^BenchmarkFleetCampaign$$
+
+.PHONY: check vet lint fuzz build test race bench benchall tables chaos fleet
 
 check: vet lint build race fuzz
 
@@ -30,8 +36,9 @@ vet:
 	$(GO) vet ./...
 
 # qcdoclint: the project's own analyzers (simtime, maprange, hotalloc,
-# contsafe, shardsafe) machine-check the determinism, zero-alloc,
-# continuation-tier, and shard-isolation invariants. DESIGN.md §11.
+# contsafe, shardsafe, fleetsafe) machine-check the determinism,
+# zero-alloc, continuation-tier, shard-isolation, and no-global-state
+# invariants. DESIGN.md §11.
 lint:
 	$(GO) run ./cmd/qcdoclint ./...
 
@@ -54,9 +61,11 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -count=5 . \
-		| $(GO) run ./cmd/benchjson -o BENCH_frames.json
+		| $(GO) run ./cmd/benchjson -meta suite=frames -o BENCH_frames.json
 	$(GO) test -run '^$$' -bench '$(BENCH_PARALLEL_SET)' -benchmem -benchtime 3x -count=3 . \
-		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
+		| $(GO) run ./cmd/benchjson -meta suite=parallel -o BENCH_parallel.json
+	$(GO) test -run '^$$' -bench '$(BENCH_FLEET_SET)' -benchmem -benchtime 1x -count=3 . \
+		| $(GO) run ./cmd/benchjson -meta suite=fleet -o BENCH_fleet.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...
@@ -75,3 +84,13 @@ chaos:
 	$(GO) run ./cmd/qcdoc chaos -faultseed 16 -repeat 2 -quiet
 	$(GO) run ./cmd/qcdoc chaos -faultseed 23 -repeat 2 -quiet
 	$(GO) run ./cmd/qcdoc chaos -faultseed 16 -repeat 2 -quiet -workers 8
+
+# Fleet gate: a 32-run chaos campaign — 16 fault seeds x 2 lattices, all
+# 32 machines living in one process, scheduled over 8 campaign workers
+# against a shared pool — then re-run serially with a fresh pool; every
+# run's outcome digest must match bit for bit (DESIGN.md §14).
+fleet:
+	$(GO) run ./cmd/qcdoc fleet -machine 2,2 \
+		-lattices '4,4,4,4;8,4,4,4' \
+		-faultseeds 3,5,7,9,11,13,16,17,19,21,23,27,31,37,41,43 \
+		-workers 8 -verify -quiet

@@ -16,7 +16,9 @@ import (
 	"qcdoc/internal/cost"
 	"qcdoc/internal/event"
 	"qcdoc/internal/experiments"
+	"qcdoc/internal/faultplan"
 	"qcdoc/internal/fermion"
+	"qcdoc/internal/fleet"
 	"qcdoc/internal/geom"
 	"qcdoc/internal/hmc"
 	"qcdoc/internal/lattice"
@@ -177,6 +179,59 @@ func benchRackScale(b *testing.B, workers int) {
 func BenchmarkE11RackScale(b *testing.B) {
 	for _, w := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchRackScale(b, w) })
+	}
+}
+
+// --- Fleet campaign throughput (DESIGN.md §14) ----------------------------
+
+// BenchmarkFleetCampaign runs a small chaos campaign — four fault seeds
+// on a 4-node machine, each through the full fault-injection/recovery
+// pipeline — over the fleet scheduler and reports campaign throughput.
+// workers=1 is the serial baseline; workers=8 shows what the bounded
+// worker pool adds on this host (the BENCH meta block records NumCPU, so
+// a workers=8 row on one core reads as scheduling overhead, not speedup).
+func BenchmarkFleetCampaign(b *testing.B) {
+	base := fleet.Spec{
+		Machine:         geom.MakeShape(2, 2),
+		Op:              fermion.WilsonKind,
+		Mass:            0.5,
+		Seed:            4001,
+		Tol:             1e-8,
+		MaxIter:         400,
+		CheckpointEvery: 10,
+		Chaos:           true,
+		Faults: faultplan.Spec{
+			From:        2 * event.Millisecond,
+			To:          10 * event.Millisecond,
+			NodeCrashes: 1,
+			NetDrops:    2,
+			NetDups:     1,
+			LinkBursts:  1,
+		},
+	}
+	specs := fleet.Sweep(base,
+		[]lattice.Shape4{{4, 4, 4, 4}},
+		[]fermion.OpKind{fermion.WilsonKind},
+		[]uint64{7, 8, 9, 10})
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := machine.NewPool()
+			var digest uint64
+			for i := 0; i < b.N; i++ {
+				rs := fleet.Run(fleet.Config{Workers: w, Pool: pool}, specs)
+				for _, r := range rs {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+				d := fleet.Digest(rs)
+				if digest != 0 && d != digest {
+					b.Fatalf("campaign digest drifted: %#x then %#x", digest, d)
+				}
+				digest = d
+			}
+			b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "runs/sec")
+		})
 	}
 }
 

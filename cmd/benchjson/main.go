@@ -6,7 +6,14 @@
 // b.ReportMetric values. Repeated entries from -count=N stay separate so
 // downstream tooling can judge variance.
 //
-// Usage: go test -bench ... -benchmem | benchjson -o BENCH.json
+// The record carries a meta block with the host provenance the numbers
+// are meaningless without: GOMAXPROCS and runtime.NumCPU (so a
+// "workers=8" row measured on one core is distinguishable from a real
+// 8-core measurement), the goos/goarch pair, the worker counts named by
+// the benchmarks themselves (".../workers=N" sub-benchmarks), and any
+// -meta key=value pairs the caller adds.
+//
+// Usage: go test -bench ... -benchmem | benchjson -meta suite=frames -o BENCH.json
 package main
 
 import (
@@ -17,6 +24,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -26,6 +36,65 @@ type Result struct {
 	Name    string             `json:"name"`
 	Runs    int64              `json:"runs"`
 	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Meta is the provenance block: where and how the numbers were taken.
+type Meta struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	// WorkerCounts lists the distinct worker-pool sizes named by
+	// ".../workers=N" sub-benchmarks in this record, ascending. A count
+	// above NumCPU means those rows measure scheduling overhead, not
+	// parallel speedup.
+	WorkerCounts []int `json:"worker_counts,omitempty"`
+	// Extra holds caller-supplied -meta key=value pairs.
+	Extra map[string]string `json:"extra,omitempty"`
+}
+
+// Record is the file format: provenance plus results.
+type Record struct {
+	Meta    Meta     `json:"meta"`
+	Results []Result `json:"results"`
+}
+
+var workersRe = regexp.MustCompile(`workers=(\d+)`)
+
+// metaFor builds the provenance block for a result set.
+func metaFor(results []Result, extra map[string]string) Meta {
+	m := Meta{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Extra:      extra,
+	}
+	seen := map[int]bool{}
+	for _, r := range results {
+		if w := workersRe.FindStringSubmatch(r.Name); w != nil {
+			if n, err := strconv.Atoi(w[1]); err == nil && !seen[n] {
+				seen[n] = true
+				m.WorkerCounts = append(m.WorkerCounts, n)
+			}
+		}
+	}
+	sort.Ints(m.WorkerCounts)
+	return m
+}
+
+// metaFlag collects repeated -meta key=value arguments.
+type metaFlag map[string]string
+
+func (m metaFlag) String() string { return "" }
+
+func (m metaFlag) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	m[k] = v
+	return nil
 }
 
 func parseLine(line string) (Result, bool) {
@@ -78,6 +147,8 @@ func scan(r io.Reader, echo io.Writer) ([]Result, error) {
 
 func main() {
 	out := flag.String("o", "", "write JSON results to this file (default stdout only)")
+	extra := metaFlag{}
+	flag.Var(extra, "meta", "extra provenance as key=value (repeatable)")
 	flag.Parse()
 
 	results, err := scan(os.Stdin, os.Stdout)
@@ -85,8 +156,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if len(extra) == 0 {
+		extra = nil
+	}
+	rec := Record{Meta: metaFor(results, extra), Results: results}
 
-	blob, err := json.MarshalIndent(results, "", "  ")
+	blob, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: marshal:", err)
 		os.Exit(1)

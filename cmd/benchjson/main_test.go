@@ -42,3 +42,40 @@ func TestScanEmptyInputFails(t *testing.T) {
 		}
 	}
 }
+
+// TestMetaRecordsProvenance pins the PR 6 gap fix: a record must say
+// what host it was measured on, so a single-core "workers=8" row can
+// never masquerade as a real multi-core speedup.
+func TestMetaRecordsProvenance(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkE11RackScale/workers=8-4", Runs: 3},
+		{Name: "BenchmarkE11RackScale/workers=1-4", Runs: 3},
+		{Name: "BenchmarkE11RackScale/workers=4-4", Runs: 3},
+		{Name: "BenchmarkEngineDispatch-4", Runs: 100},
+		{Name: "BenchmarkE11RackScale/workers=8-4", Runs: 3}, // -count repeat: no dup
+	}
+	m := metaFor(results, map[string]string{"suite": "parallel"})
+	if m.GOMAXPROCS == 0 || m.NumCPU == 0 || m.GOOS == "" || m.GOARCH == "" {
+		t.Fatalf("host provenance missing: %+v", m)
+	}
+	if want := []int{1, 4, 8}; len(m.WorkerCounts) != 3 ||
+		m.WorkerCounts[0] != want[0] || m.WorkerCounts[1] != want[1] || m.WorkerCounts[2] != want[2] {
+		t.Fatalf("WorkerCounts = %v, want %v", m.WorkerCounts, want)
+	}
+	if m.Extra["suite"] != "parallel" {
+		t.Fatalf("Extra = %v", m.Extra)
+	}
+}
+
+func TestMetaFlagParsesKeyValue(t *testing.T) {
+	m := metaFlag{}
+	if err := m.Set("suite=fleet"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("nonsense"); err == nil {
+		t.Fatal("Set(\"nonsense\") succeeded, want error")
+	}
+	if m["suite"] != "fleet" {
+		t.Fatalf("m = %v", m)
+	}
+}

@@ -17,6 +17,10 @@
 //	qcdoc chaos -faultseed 16 -repeat 2
 //	    run a solve under deterministic fault injection: node death,
 //	    watchdog detection, checkpoint restore, re-convergence
+//
+//	qcdoc fleet -machine 2,2 -lattices "4,4,4,4;4,4,4,8" -ops wilson,clover -workers 8
+//	    run a campaign: many independent machines in one process,
+//	    sweeping (lattice × operator × fault seed) over a worker pool
 package main
 
 import (
@@ -53,13 +57,15 @@ func main() {
 		cmdEstimate(os.Args[2:])
 	case "chaos":
 		cmdChaos(os.Args[2:])
+	case "fleet":
+		cmdFleet(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qcdoc {info|solve|scaling|estimate|chaos} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qcdoc {info|solve|scaling|estimate|chaos|fleet} [flags]")
 	os.Exit(2)
 }
 

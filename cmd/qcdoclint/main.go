@@ -8,6 +8,7 @@
 //	hotalloc  — //qcdoc:noalloc functions contain no allocating constructs
 //	contsafe  — no blocking coroutine APIs on the continuation tier
 //	shardsafe — no machine-wide hardware access from per-shard code
+//	fleetsafe — no package-level mutable state in sim packages
 //
 // Usage:
 //
@@ -29,6 +30,7 @@ import (
 
 	"qcdoc/internal/analysis"
 	"qcdoc/internal/analysis/contsafe"
+	"qcdoc/internal/analysis/fleetsafe"
 	"qcdoc/internal/analysis/hotalloc"
 	"qcdoc/internal/analysis/load"
 	"qcdoc/internal/analysis/maprange"
@@ -43,6 +45,7 @@ var analyzers = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 	contsafe.Analyzer,
 	shardsafe.Analyzer,
+	fleetsafe.Analyzer,
 }
 
 // listPkg is the subset of `go list -json` the driver needs: where a

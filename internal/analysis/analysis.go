@@ -78,6 +78,10 @@ const (
 	// MarkerShardOK waives shardsafe: the flagged collection access is
 	// rank-local, pre-run, or otherwise confined to the owning shard.
 	MarkerShardOK = "qcdoclint:shard-ok"
+	// MarkerGlobalOK waives fleetsafe: the package-level var is
+	// write-once read-only data (an immutable table behind a reference
+	// type) that concurrent machines may safely share.
+	MarkerGlobalOK = "qcdoclint:global-ok"
 )
 
 // NoallocTag is the function annotation hotalloc enforces: a

@@ -1,0 +1,12 @@
+package fleetsafe_test
+
+import (
+	"testing"
+
+	"qcdoc/internal/analysis/analysistest"
+	"qcdoc/internal/analysis/fleetsafe"
+)
+
+func TestFleetsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", fleetsafe.Analyzer, "a")
+}

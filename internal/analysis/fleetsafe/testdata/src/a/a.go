@@ -1,0 +1,92 @@
+// Fixture for the fleetsafe analyzer: package-level vars in sim
+// packages must be blank assertions, error sentinels, or never-written
+// pure-value tables; anything written after initialization or mutable
+// through a shared reference is flagged, and //qcdoclint:global-ok
+// waives a verified read-only table.
+package a
+
+import "errors"
+
+// --- allowed ---
+
+// Error sentinels: initialized at declaration, never reassigned.
+var ErrBroken = errors.New("a: broken")
+
+// Blank interface assertions bind no state.
+var _ interface{ Error() string } = errNever{}
+
+// A pure-value table never written by any code in the package: shared
+// and immutable, exactly what the fleet substrate wants.
+var gammaTable = buildGamma()
+
+// Grouped value constants-in-spirit are fine too.
+var (
+	identity = [2][2]float64{{1, 0}, {0, 1}}
+	twoPi    = 6.283185307179586
+)
+
+// --- flagged: mutable through a shared reference ---
+
+var statsFields = []string{"sent", "resent"} // want `of reference type \[\]string`
+
+var registry = map[string]int{} // want `of reference type map\[string\]int`
+
+var table = &config{} // want `of reference type \*a\.config`
+
+var notify = make(chan int) // want `of reference type chan int`
+
+var hook func() // want `of reference type func\(\)`
+
+var boxed interface{ Error() string } // want `process-wide mutable state`
+
+// A struct is only as immutable as its fields.
+var nested = holder{} // want `of reference type a\.holder`
+
+// --- flagged: written after initialization ---
+
+var counter int // want `assigned after initialization`
+
+var bumped int // want `incremented after initialization`
+
+var escapee [4]float64 // want `addressed after initialization`
+
+var gamma [2][2]float64 // want `assigned after initialization`
+
+// --- waived: reviewed read-only reference tables ---
+
+//qcdoclint:global-ok write-once field-name table, read-only after init
+var fieldNames = []string{"frames", "bits"}
+
+var crcTable = buildCRC() //qcdoclint:global-ok crc polynomial table, never written
+
+// --- machinery ---
+
+type errNever struct{}
+
+func (errNever) Error() string { return "" }
+
+type config struct{ n int }
+
+type holder struct{ names []string }
+
+func buildGamma() [2][2]float64 { return [2][2]float64{{0, 1}, {1, 0}} }
+
+func buildCRC() []uint32 { return []uint32{1, 2, 3} }
+
+func init() {
+	// The init-function write pattern fleetsafe exists to kill: compute
+	// at declaration instead.
+	gamma = buildGamma()
+}
+
+func touch() {
+	counter = 1
+	bumped++
+	use(&escapee)
+	// Reads are always fine.
+	_ = gammaTable
+	_ = identity
+	_ = twoPi
+}
+
+func use(*[4]float64) {}

@@ -77,6 +77,11 @@ type ChaosConfig struct {
 	Shards  int
 	Workers int
 
+	// Pool recycles engine storage and frame rings across attempts and
+	// across runs (fleet substrate); nil disables pooling. Pooling never
+	// changes the outcome digest.
+	Pool *machine.Pool
+
 	// Log, when set, receives a human-readable narrative of the run.
 	Log io.Writer
 }
@@ -229,12 +234,16 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 	baseIter int, fs map[string][]byte, logf func(string, ...any)) (chaosAttempt, error) {
 
 	res := chaosAttempt{}
-	eng := event.New()
-	defer eng.Shutdown()
+	eng := cfg.Pool.NewEngine()
 	mcfg := machine.DefaultConfig(shape)
 	mcfg.Shards = cfg.Shards
 	mcfg.Workers = cfg.Workers
+	mcfg.Pool = cfg.Pool
 	m := machine.Build(eng, mcfg)
+	defer func() {
+		eng.Shutdown()
+		cfg.Pool.Reclaim(eng, m)
+	}()
 	if err := m.TrainLinks(); err != nil {
 		return res, err
 	}

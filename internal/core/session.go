@@ -19,6 +19,9 @@ type Session struct {
 	Eng *event.Engine
 	M   *machine.Machine
 	Lay Layout
+
+	pool   *machine.Pool
+	closed bool
 }
 
 // NewSession builds and boots a machine of the given shape and lays a
@@ -27,23 +30,35 @@ func NewSession(machineShape geom.Shape, global lattice.Shape4) (*Session, error
 	return NewSessionConfig(machine.DefaultConfig(machineShape), global)
 }
 
-// NewSessionConfig is NewSession with full machine configuration.
+// NewSessionConfig is NewSession with full machine configuration. When
+// cfg.Pool is set, the engine's heap storage and the wires' frame rings
+// come from (and return to, on Close) that pool.
 func NewSessionConfig(cfg machine.Config, global lattice.Shape4) (*Session, error) {
 	lay, err := NewLayout(cfg.Shape, global)
 	if err != nil {
 		return nil, err
 	}
-	eng := event.New()
+	eng := cfg.Pool.NewEngine()
 	m := machine.Build(eng, cfg)
 	if err := m.Boot(); err != nil {
 		eng.Shutdown()
+		cfg.Pool.Reclaim(eng, m)
 		return nil, err
 	}
-	return &Session{Eng: eng, M: m, Lay: lay}, nil
+	return &Session{Eng: eng, M: m, Lay: lay, pool: cfg.Pool}, nil
 }
 
-// Close releases the session's simulation resources.
-func (s *Session) Close() { s.Eng.Shutdown() }
+// Close releases the session's simulation resources and returns pooled
+// storage. Idempotent: every call after the first is a no-op, so
+// experiments can both defer it and close early on success paths.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.Eng.Shutdown()
+	s.pool.Reclaim(s.Eng, s.M)
+}
 
 // firstOf returns the lowest-rank error from a per-rank error slice —
 // the deterministic replacement for racing rank closures on one shared

@@ -50,6 +50,7 @@ func E1Functional() (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		defer sess.Close()
 		b := lattice.NewFermionField(global)
 		b.Gaussian(1002)
 		_, met, err := sess.SolveWilson(gauge, b, 0.5, fermion.Double, 1e-4, 300)
@@ -66,6 +67,7 @@ func E1Functional() (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		defer sess.Close()
 		ref := fermion.NewClover(gauge, 0.5, 1.0)
 		b := lattice.NewFermionField(global)
 		b.Gaussian(1003)
@@ -83,6 +85,7 @@ func E1Functional() (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		defer sess.Close()
 		ref := fermion.NewASQTAD(gauge, 0.5)
 		b := lattice.NewColorField(global)
 		b.Gaussian(1004)
@@ -101,6 +104,7 @@ func E1Functional() (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		defer sess.Close()
 		b := fermion.NewField5(global, ls)
 		b.Gaussian(1005)
 		_, met, err := sess.SolveDWF(gauge, b, 1.8, 0.1, ls, fermion.Double, 1e-3, 600)

@@ -1,0 +1,342 @@
+// Package fleet runs campaigns: many fully independent simulated
+// machines in one process, each executing one run of a parameter sweep
+// (lattice size × operator × fault seed), scheduled over a bounded
+// worker pool. The substrate contract (DESIGN.md §14) is that a run
+// produces the same outcome digest it would produce alone in a fresh
+// process — machines share only immutable data (cost tables, shard
+// plans) and reference-free recycled storage (frame rings, event-heap
+// arrays), never mutable state. The real QCDOC host served a whole
+// physics community this way: many partitions, many jobs, one machine
+// room (paper §3).
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"qcdoc/internal/checkpoint"
+	"qcdoc/internal/core"
+	"qcdoc/internal/event"
+	"qcdoc/internal/faultplan"
+	"qcdoc/internal/fermion"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/machine"
+)
+
+// Spec describes one run of a campaign: a machine, a problem, and —
+// for chaos runs — a fault plan seed. The zero value is not runnable;
+// start from a base spec and Sweep, or fill it explicitly.
+type Spec struct {
+	// Name labels the run in output; Sweep derives it from the swept
+	// parameters.
+	Name string
+
+	// Machine is the six-dimensional torus; Global the lattice laid over
+	// it.
+	Machine geom.Shape
+	Global  lattice.Shape4
+
+	// Op selects the fermion operator for solve runs (chaos runs are
+	// always Wilson — they exercise the recovery pipeline, which is
+	// operator-independent).
+	Op fermion.OpKind
+
+	Mass    float64
+	Tol     float64
+	MaxIter int
+	// Ls is the fifth dimension (DWF only).
+	Ls int
+
+	// Seed draws the gauge configuration and source.
+	Seed uint64
+
+	// Shards/Workers select sharded parallel simulation inside this
+	// run's machine (machine.Config); campaign-level parallelism is
+	// Config.Workers.
+	Shards  int
+	Workers int
+
+	// Chaos switches the run from a plain solve to the full
+	// inject/detect/isolate/restore pipeline of core.RunChaosWilson,
+	// with faults drawn from FaultSeed according to Faults.
+	Chaos           bool
+	FaultSeed       uint64
+	Faults          faultplan.Spec
+	CheckpointEvery int
+}
+
+// Result is the outcome of one run. Digest is the determinism
+// currency: for a chaos run it is core.ChaosOutcome.Digest, for a
+// solve run an FNV-1a fold of the converged numerics; either way it
+// must be bit-identical to the digest the same spec produces in a
+// fresh single-machine process.
+type Result struct {
+	Name        string
+	Iterations  int
+	Attempts    int
+	Converged   bool
+	RelResidual float64
+	SolutionCRC uint32
+	SimTime     event.Time
+	Digest      uint64
+	Err         error
+}
+
+func (r Result) String() string {
+	if r.Err != nil {
+		return fmt.Sprintf("%-32s ERROR: %v", r.Name, r.Err)
+	}
+	s := fmt.Sprintf("%-32s %4d iter", r.Name, r.Iterations)
+	if r.Attempts > 1 {
+		s += fmt.Sprintf(" (%d attempts)", r.Attempts)
+	}
+	return s + fmt.Sprintf("  residual %.2g  sim %v  digest %#x", r.RelResidual, r.SimTime, r.Digest)
+}
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Workers bounds how many runs execute concurrently (0 = serial).
+	// Per-run digests are invariant under Workers — that is the fleet
+	// substrate's acceptance test.
+	Workers int
+	// Pool recycles engine storage and frame rings across the fleet's
+	// machine builds; nil disables pooling.
+	Pool *machine.Pool
+	// Log, when set, receives one line per completed run. Lines appear
+	// in completion order; the returned slice is always in spec order.
+	Log io.Writer
+}
+
+// Run executes every spec and returns results in spec order. Each run
+// is fully independent: its own engine (or engine cluster), machine,
+// RNG streams, and telemetry — failure or chaos in one run cannot be
+// observed by another.
+func Run(cfg Config, specs []Spec) []Result {
+	results := make([]Result, len(specs))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var logMu sync.Mutex
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(specs[i], cfg.Pool)
+				if cfg.Log != nil {
+					logMu.Lock()
+					fmt.Fprintln(cfg.Log, results[i])
+					logMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// Sweep expands a base spec over the cross product of lattices,
+// operators, and fault seeds (the campaign the ROADMAP asks for). Any
+// nil/empty axis keeps the base value as the single point. Fault seeds
+// only apply when base.Chaos is set; for solve sweeps pass nil.
+func Sweep(base Spec, lattices []lattice.Shape4, ops []fermion.OpKind, faultSeeds []uint64) []Spec {
+	if len(lattices) == 0 {
+		lattices = []lattice.Shape4{base.Global}
+	}
+	if len(ops) == 0 {
+		ops = []fermion.OpKind{base.Op}
+	}
+	if len(faultSeeds) == 0 || !base.Chaos {
+		faultSeeds = []uint64{base.FaultSeed}
+	}
+	var specs []Spec
+	for _, lat := range lattices {
+		for _, op := range ops {
+			for _, fseed := range faultSeeds {
+				s := base
+				s.Global = lat
+				s.Op = op
+				s.FaultSeed = fseed
+				s.Name = specName(s)
+				specs = append(specs, s)
+			}
+		}
+	}
+	return specs
+}
+
+func specName(s Spec) string {
+	name := fmt.Sprintf("%s %dx%dx%dx%d", opName(s.Op), s.Global[0], s.Global[1], s.Global[2], s.Global[3])
+	if s.Chaos {
+		name += fmt.Sprintf(" fseed=%d", s.FaultSeed)
+	}
+	return name
+}
+
+func opName(op fermion.OpKind) string {
+	switch op {
+	case fermion.WilsonKind:
+		return "wilson"
+	case fermion.CloverKind:
+		return "clover"
+	case fermion.AsqtadKind:
+		return "asqtad"
+	case fermion.DWFKind:
+		return "dwf"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}
+
+// Digest folds every run's outcome into one campaign fingerprint
+// (FNV-1a): the one number a serial and a concurrent execution of the
+// same campaign must agree on.
+func Digest(rs []Result) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	for _, r := range rs {
+		mix(r.Digest)
+		if r.Err != nil {
+			mix(1)
+		}
+	}
+	return h
+}
+
+// runOne executes a single spec on its own machine.
+func runOne(s Spec, pool *machine.Pool) Result {
+	if s.Chaos {
+		return runChaos(s, pool)
+	}
+	return runSolve(s, pool)
+}
+
+func runChaos(s Spec, pool *machine.Pool) Result {
+	out, err := core.RunChaosWilson(core.ChaosConfig{
+		Shape:           s.Machine,
+		Global:          s.Global,
+		Seed:            s.Seed,
+		FaultSeed:       s.FaultSeed,
+		Mass:            s.Mass,
+		Tol:             s.Tol,
+		MaxIter:         s.MaxIter,
+		CheckpointEvery: s.CheckpointEvery,
+		Spec:            s.Faults,
+		Shards:          s.Shards,
+		Workers:         s.Workers,
+		Pool:            pool,
+	})
+	res := Result{Name: s.Name, Err: err}
+	if out != nil {
+		res.Attempts = len(out.Attempts)
+		if n := len(out.Attempts); n > 0 {
+			res.Iterations = out.Attempts[n-1].Iterations
+			res.SimTime = out.Attempts[n-1].EndedAt
+		}
+		res.Converged = out.Converged
+		res.RelResidual = out.RelResidual
+		res.SolutionCRC = out.SolutionCRC
+		res.Digest = out.Digest
+	}
+	return res
+}
+
+func runSolve(s Spec, pool *machine.Pool) Result {
+	res := Result{Name: s.Name}
+	mcfg := machine.DefaultConfig(s.Machine)
+	mcfg.Shards = s.Shards
+	mcfg.Workers = s.Workers
+	mcfg.Pool = pool
+	sess, err := core.NewSessionConfig(mcfg, s.Global)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer sess.Close()
+
+	gauge := lattice.NewGaugeField(s.Global)
+	gauge.Randomize(s.Seed)
+	var met core.SolveMetrics
+	var crc uint32
+	switch s.Op {
+	case fermion.CloverKind:
+		ref := fermion.NewClover(gauge, s.Mass, 1.0)
+		b := lattice.NewFermionField(s.Global)
+		b.Gaussian(s.Seed + 1)
+		var x *lattice.FermionField
+		x, met, err = sess.SolveClover(ref, b, fermion.Double, s.Tol, s.MaxIter)
+		if x != nil {
+			crc = checkpoint.FermionCRC(x)
+		}
+	case fermion.AsqtadKind:
+		ref := fermion.NewASQTAD(gauge, s.Mass)
+		b := lattice.NewColorField(s.Global)
+		b.Gaussian(s.Seed + 1)
+		_, met, err = sess.SolveASQTAD(ref, b, fermion.Double, s.Tol, s.MaxIter)
+	case fermion.DWFKind:
+		b := fermion.NewField5(s.Global, s.Ls)
+		b.Gaussian(s.Seed + 1)
+		_, met, err = sess.SolveDWF(gauge, b, 1.8, s.Mass, s.Ls, fermion.Double, s.Tol, s.MaxIter)
+	default: // Wilson
+		b := lattice.NewFermionField(s.Global)
+		b.Gaussian(s.Seed + 1)
+		var x *lattice.FermionField
+		x, met, err = sess.SolveWilson(gauge, b, s.Mass, fermion.Double, s.Tol, s.MaxIter)
+		if x != nil {
+			crc = checkpoint.FermionCRC(x)
+		}
+	}
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Iterations = met.Iterations
+	res.Attempts = 1
+	res.Converged = true
+	res.RelResidual = met.RelResidual
+	res.SolutionCRC = crc
+	res.SimTime = met.SimTime
+	res.Digest = solveDigest(met, crc)
+	return res
+}
+
+// solveDigest fingerprints a solve run's observable outcome: iteration
+// count, residual bits, solution CRC, and the simulated wall time of
+// the solve (which folds in every network and kernel timing decision).
+func solveDigest(met core.SolveMetrics, crc uint32) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(met.Iterations))
+	mix(uint64(met.Applications))
+	mix(math.Float64bits(met.RelResidual))
+	mix(uint64(crc))
+	mix(uint64(met.SimTime))
+	mix(met.WordsSent)
+	mix(met.Resends)
+	return h
+}

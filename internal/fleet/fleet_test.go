@@ -1,0 +1,201 @@
+package fleet_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"qcdoc/internal/core"
+	"qcdoc/internal/event"
+	"qcdoc/internal/faultplan"
+	"qcdoc/internal/fermion"
+	"qcdoc/internal/fleet"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/machine"
+)
+
+// solveBase is a small, fast solve spec: a 4-node machine and a 4^4
+// lattice converge in well under a second of host time.
+func solveBase() fleet.Spec {
+	return fleet.Spec{
+		Machine: geom.MakeShape(2, 2),
+		Global:  lattice.Shape4{4, 4, 4, 4},
+		Op:      fermion.WilsonKind,
+		Mass:    0.5,
+		Tol:     1e-4,
+		MaxIter: 100,
+		Seed:    1,
+	}
+}
+
+// chaosBase mirrors `qcdoc chaos -machine 2,2` so fleet digests are
+// comparable to standalone CLI runs of the same seeds.
+func chaosBase() fleet.Spec {
+	return fleet.Spec{
+		Machine:         geom.MakeShape(2, 2),
+		Global:          lattice.Shape4{4, 4, 4, 4},
+		Mass:            0.5,
+		Tol:             1e-8,
+		MaxIter:         400,
+		Seed:            4001,
+		Chaos:           true,
+		CheckpointEvery: 10,
+		Faults: faultplan.Spec{
+			From:        2 * event.Millisecond,
+			To:          10 * event.Millisecond,
+			NodeCrashes: 1,
+			NetDrops:    2,
+			NetDups:     1,
+			LinkBursts:  1,
+		},
+	}
+}
+
+func requireSameDigests(t *testing.T, serial, conc []fleet.Result) {
+	t.Helper()
+	if len(serial) != len(conc) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(conc))
+	}
+	for i := range serial {
+		if serial[i].Err != nil || conc[i].Err != nil {
+			t.Fatalf("run %q failed: serial %v, concurrent %v", serial[i].Name, serial[i].Err, conc[i].Err)
+		}
+		if serial[i].Digest != conc[i].Digest {
+			t.Errorf("run %q: serial digest %#x != concurrent digest %#x",
+				serial[i].Name, serial[i].Digest, conc[i].Digest)
+		}
+	}
+	if fleet.Digest(serial) != fleet.Digest(conc) {
+		t.Errorf("campaign digests differ: %#x vs %#x", fleet.Digest(serial), fleet.Digest(conc))
+	}
+}
+
+// TestFleetSolveSerialVsConcurrent sweeps (lattice × operator) and
+// requires every run's digest to be identical whether the campaign
+// executes serially or over 8 workers sharing one pool — the substrate
+// contract: concurrent machines cannot observe each other.
+func TestFleetSolveSerialVsConcurrent(t *testing.T) {
+	specs := fleet.Sweep(solveBase(),
+		[]lattice.Shape4{{4, 4, 4, 4}, {4, 4, 4, 8}},
+		[]fermion.OpKind{fermion.WilsonKind, fermion.CloverKind},
+		nil)
+	if len(specs) != 4 {
+		t.Fatalf("sweep produced %d specs, want 4", len(specs))
+	}
+	serial := fleet.Run(fleet.Config{Workers: 1, Pool: machine.NewPool()}, specs)
+	conc := fleet.Run(fleet.Config{Workers: 8, Pool: machine.NewPool()}, specs)
+	requireSameDigests(t, serial, conc)
+}
+
+// TestFleetChaosMatchesFreshProcess runs a chaos fleet concurrently
+// with a shared pool and requires each run's outcome digest to equal
+// the digest the same seed produces through core.RunChaosWilson alone
+// on unpooled storage — i.e. exactly what a fresh process would print.
+func TestFleetChaosMatchesFreshProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos fleet is seconds-long")
+	}
+	seeds := []uint64{7, 8, 9, 10}
+	specs := fleet.Sweep(chaosBase(), nil, nil, seeds)
+	conc := fleet.Run(fleet.Config{Workers: 4, Pool: machine.NewPool()}, specs)
+	for i, seed := range seeds {
+		if conc[i].Err != nil {
+			t.Fatalf("fleet run fseed=%d: %v", seed, conc[i].Err)
+		}
+		base := chaosBase()
+		out, err := core.RunChaosWilson(core.ChaosConfig{
+			Shape:           base.Machine,
+			Global:          base.Global,
+			Seed:            base.Seed,
+			FaultSeed:       seed,
+			Mass:            base.Mass,
+			Tol:             base.Tol,
+			MaxIter:         base.MaxIter,
+			CheckpointEvery: base.CheckpointEvery,
+			Spec:            base.Faults,
+		})
+		if err != nil {
+			t.Fatalf("standalone run fseed=%d: %v", seed, err)
+		}
+		if out.Digest != conc[i].Digest {
+			t.Errorf("fseed=%d: standalone digest %#x != fleet digest %#x",
+				seed, out.Digest, conc[i].Digest)
+		}
+	}
+}
+
+// TestFleet32MachinesLifecycleHygiene is the lifecycle gate: build,
+// boot, solve, and Close 32 machines concurrently (under -race in
+// `make check`), then assert zero leaked goroutines, zero leaked
+// timers, and per-run digests bit-identical to the same 32 run
+// serially.
+func TestFleet32MachinesLifecycleHygiene(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-machine fleet is seconds-long")
+	}
+	specs := make([]fleet.Spec, 32)
+	for i := range specs {
+		s := solveBase()
+		s.Seed = uint64(i + 1) // 32 distinct problems, one machine each
+		s.Name = fleet.Sweep(s, nil, nil, nil)[0].Name
+		specs[i] = s
+	}
+
+	serial := fleet.Run(fleet.Config{Workers: 1, Pool: machine.NewPool()}, specs)
+
+	before := runtime.NumGoroutine()
+	pool := machine.NewPool()
+	conc := fleet.Run(fleet.Config{Workers: 8, Pool: pool}, specs)
+	requireSameDigests(t, serial, conc)
+
+	// Zero leaked timers: everything reclaimed into the pool is empty.
+	// (Engine shutdown unwinds synchronously, so a leak would show up
+	// here deterministically, not as a flake.)
+	st := pool.Stats()
+	if st.StorageIdle == 0 {
+		t.Fatalf("no storages reclaimed: pool stats %+v", st)
+	}
+	if st.PendingEvents != 0 {
+		t.Fatalf("%d events still queued in reclaimed storage — leaked timers", st.PendingEvents)
+	}
+	if st.StorageReused == 0 || st.RingsReused == 0 {
+		t.Errorf("pool never recycled (storage reused %d, rings reused %d) — fleet is thrashing the allocator",
+			st.StorageReused, st.RingsReused)
+	}
+
+	// Zero leaked goroutines: the worker pool and every machine are
+	// gone. Give the runtime a moment to retire exiting goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before fleet, %d after", before, after)
+	}
+}
+
+// TestSweepCrossProduct pins the sweep expansion order (lattice-major,
+// then operator, then fault seed) — campaign digests depend on it.
+func TestSweepCrossProduct(t *testing.T) {
+	base := chaosBase()
+	specs := fleet.Sweep(base,
+		[]lattice.Shape4{{4, 4, 4, 4}, {4, 4, 4, 8}},
+		nil,
+		[]uint64{16, 23})
+	want := []string{
+		"wilson 4x4x4x4 fseed=16",
+		"wilson 4x4x4x4 fseed=23",
+		"wilson 4x4x4x8 fseed=16",
+		"wilson 4x4x4x8 fseed=23",
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i, s := range specs {
+		if s.Name != want[i] {
+			t.Errorf("spec %d name %q, want %q", i, s.Name, want[i])
+		}
+	}
+}

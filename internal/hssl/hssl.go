@@ -369,6 +369,28 @@ func (w *Wire) growInFlight() {
 	w.flyHead = 0
 }
 
+// AdoptRing hands the wire a recycled in-flight ring to use as its
+// backing array (machine.Pool recycles rings across machine builds so a
+// fleet doesn't re-grow every wire's ring from nothing). Frames are
+// pure values — a ring carries no references — so a previous machine's
+// ring is safe to adopt as-is. No-op once frames are in flight or on an
+// empty ring.
+func (w *Wire) AdoptRing(ring []Frame) {
+	if len(ring) > 0 && w.flyLen == 0 {
+		w.fly = ring
+		w.flyHead = 0
+	}
+}
+
+// ReleaseRing detaches and returns the wire's in-flight ring for
+// recycling. The wire must be finished (its engine shut down); it is
+// left with no ring and would re-grow from scratch if used again.
+func (w *Wire) ReleaseRing() []Frame {
+	r := w.fly
+	w.fly, w.flyHead, w.flyLen = nil, 0, 0
+	return r
+}
+
 // OnFrame attaches a continuation-tier receiver: every arriving frame is
 // handed to fn at its arrival time, with no receiver process or queue in
 // between. Frames already queued drain into fn in arrival order, in one

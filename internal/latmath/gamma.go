@@ -14,47 +14,54 @@ type Mat4 [4][4]complex128
 
 // The Dirac gamma matrices in the DeGrand-Rossi (chiral) basis, indexed
 // by direction 0..3 = x, y, z, t. In this basis γ5 = diag(+1,+1,-1,-1),
-// which makes domain-wall chirality projectors trivial.
-var Gamma [4]Mat4
+// which makes domain-wall chirality projectors trivial. All four tables
+// here are pure-value arrays computed at declaration and never written
+// afterwards (fleetsafe): every machine in a fleet reads the same
+// immutable copies.
+var Gamma = buildGamma()
 
-// Gamma5 is the chirality matrix.
-var Gamma5 Mat4
+// Gamma5 is the chirality matrix, γ5 = γ_x γ_y γ_z γ_t.
+var Gamma5 = Gamma[0].Mul(Gamma[1]).Mul(Gamma[2]).Mul(Gamma[3])
 
 // Identity4 is the 4x4 identity.
-var Identity4 Mat4
+var Identity4 = buildIdentity4()
 
-func init() {
+func buildGamma() [4]Mat4 {
 	i := complex(0, 1)
-	Gamma[0] = Mat4{ // γ_x
-		{0, 0, 0, i},
-		{0, 0, i, 0},
-		{0, -i, 0, 0},
-		{-i, 0, 0, 0},
+	return [4]Mat4{
+		{ // γ_x
+			{0, 0, 0, i},
+			{0, 0, i, 0},
+			{0, -i, 0, 0},
+			{-i, 0, 0, 0},
+		},
+		{ // γ_y
+			{0, 0, 0, -1},
+			{0, 0, 1, 0},
+			{0, 1, 0, 0},
+			{-1, 0, 0, 0},
+		},
+		{ // γ_z
+			{0, 0, i, 0},
+			{0, 0, 0, -i},
+			{-i, 0, 0, 0},
+			{0, i, 0, 0},
+		},
+		{ // γ_t
+			{0, 0, 1, 0},
+			{0, 0, 0, 1},
+			{1, 0, 0, 0},
+			{0, 1, 0, 0},
+		},
 	}
-	Gamma[1] = Mat4{ // γ_y
-		{0, 0, 0, -1},
-		{0, 0, 1, 0},
-		{0, 1, 0, 0},
-		{-1, 0, 0, 0},
-	}
-	Gamma[2] = Mat4{ // γ_z
-		{0, 0, i, 0},
-		{0, 0, 0, -i},
-		{-i, 0, 0, 0},
-		{0, i, 0, 0},
-	}
-	Gamma[3] = Mat4{ // γ_t
-		{0, 0, 1, 0},
-		{0, 0, 0, 1},
-		{1, 0, 0, 0},
-		{0, 1, 0, 0},
-	}
+}
+
+func buildIdentity4() Mat4 {
+	var m Mat4
 	for r := 0; r < 4; r++ {
-		Identity4[r][r] = 1
+		m[r][r] = 1
 	}
-	// γ5 = γ_x γ_y γ_z γ_t.
-	Gamma5 = Gamma[0].Mul(Gamma[1]).Mul(Gamma[2]).Mul(Gamma[3])
-	buildProjectors()
+	return m
 }
 
 // Mul returns m n.
@@ -144,11 +151,11 @@ func Sigma(mu, nu int) Mat4 {
 // operator applies P = (1 - s γ_μ), a rank-2 matrix: the projected
 // spinor's lower two spin components are a fixed linear combination of
 // the upper two. recon[μ][sIdx] holds that 2x2 map R with
-// (Pψ)_{2+j} = Σ_k R[j][k] (Pψ)_k, computed (and verified) at init for
-// whatever basis Gamma holds.
-var recon [4][2][2][2]complex128
+// (Pψ)_{2+j} = Σ_k R[j][k] (Pψ)_k, computed (and verified) at
+// declaration for whatever basis Gamma holds.
+var recon = buildProjectors()
 
-func buildProjectors() {
+func buildProjectors() (recon [4][2][2][2]complex128) {
 	for mu := 0; mu < 4; mu++ {
 		for sIdx, s := range []complex128{+1, -1} {
 			P := Identity4.Sub(Gamma[mu].Scale(s))
@@ -188,6 +195,7 @@ func buildProjectors() {
 			recon[mu][sIdx] = R
 		}
 	}
+	return recon
 }
 
 func abs2(z complex128) float64 { return real(z)*real(z) + imag(z)*imag(z) }

@@ -46,6 +46,10 @@ type Config struct {
 	// available CPU). Sharded builds need a fresh engine (no events run
 	// yet); Build panics otherwise.
 	Workers int
+	// Pool, when set, recycles frame rings across machine builds and
+	// shares the shard plan between machines of identical topology
+	// (fleet substrate, DESIGN.md §14). Nil disables pooling.
+	Pool *Pool
 }
 
 // ShardAuto selects the packaging-derived shard plan.
@@ -121,8 +125,10 @@ func Build(eng *event.Engine, cfg Config) *Machine {
 		for _, l := range geom.AllLinks() {
 			nb := cfg.Shape.Rank(cfg.Shape.Neighbor(c, l.Dim, l.Dir))
 			name := fmt.Sprintf("w%d%v", r, l)
-			m.wires[r][geom.LinkIndex(l)] = hssl.NewWireBetween(
+			w := hssl.NewWireBetween(
 				m.NodeEngine(r), m.NodeEngine(nb), name, cfg.Clock, cfg.WireProp)
+			w.AdoptRing(cfg.Pool.ring())
+			m.wires[r][geom.LinkIndex(l)] = w
 		}
 	}
 	for r := 0; r < v; r++ {
@@ -182,10 +188,9 @@ func (m *Machine) buildCluster(eng *event.Engine, cfg Config, v int) {
 	}
 	look := hssl.MinLatency(cfg.Clock, cfg.WireProp)
 	m.cluster = event.Clusterize(eng, n, workers, look)
-	m.shardOf = make([]int, v)
-	for r := 0; r < v; r++ {
-		m.shardOf[r] = r / per
-	}
+	// The plan is a pure function of (Shape, Shards); a pooled build
+	// shares one immutable copy across all machines of that topology.
+	m.shardOf = cfg.Pool.shardPlan(cfg.Shape, cfg.Shards, v, per)
 	m.armAt = make([]event.Time, v)
 	for r := range m.armAt {
 		m.armAt[r] = -1

@@ -146,7 +146,10 @@ type Stats struct {
 // Stats.Each, the indexed Value/SetValue accessors and the node's
 // telemetry peek window all walk this table, so adding a counter here is
 // the whole job — aggregation, registry export and the host-side fetch
-// path pick it up at once.
+// path pick it up at once. Write-once at declaration, read-only after:
+// every machine in a fleet walks the same table.
+//
+//qcdoclint:global-ok read-only counter descriptor table
 var statsFields = []struct {
 	name string
 	get  func(*Stats) *uint64
