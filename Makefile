@@ -28,7 +28,13 @@ BENCH_PARALLEL_SET = ^(BenchmarkE1FunctionalWilsonParallel|BenchmarkE11RackScale
 # read against the host it was measured on (DESIGN.md §14).
 BENCH_FLEET_SET = ^BenchmarkFleetCampaign$$
 
-.PHONY: check vet lint fuzz build test race bench benchall tables chaos fleet
+# The observability benchmark set (DESIGN.md §15): the zero-alloc
+# histogram record, the telemetry on/off word-path comparison (link
+# histograms enabled), and the full /metrics scrape path. Pinned in
+# BENCH_obs.json.
+BENCH_OBS_SET = ^(BenchmarkHistogramRecord|BenchmarkTelemetryOverhead|BenchmarkMetricsScrape)$$
+
+.PHONY: check vet lint fuzz build test race bench benchall tables chaos fleet obs
 
 check: vet lint build race fuzz
 
@@ -66,6 +72,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -meta suite=parallel -o BENCH_parallel.json
 	$(GO) test -run '^$$' -bench '$(BENCH_FLEET_SET)' -benchmem -benchtime 1x -count=3 . \
 		| $(GO) run ./cmd/benchjson -meta suite=fleet -o BENCH_fleet.json
+	$(GO) test -run '^$$' -bench '$(BENCH_OBS_SET)' -benchmem -count=5 . \
+		| $(GO) run ./cmd/benchjson -meta suite=obs -o BENCH_obs.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...
@@ -94,3 +102,12 @@ fleet:
 		-lattices '4,4,4,4;8,4,4,4' \
 		-faultseeds 3,5,7,9,11,13,16,17,19,21,23,27,31,37,41,43 \
 		-workers 8 -verify -quiet
+
+# Observability gate: run an observed solve campaign behind the live
+# /metrics /trace /fleet service, scrape our own endpoints, then re-run
+# the identical campaign with observability fully off — `qcdoc serve
+# -selfcheck` exits non-zero unless every digest is bit-identical (the
+# zero-perturbation contract, DESIGN.md §15, proven through HTTP).
+obs:
+	$(GO) run ./cmd/qcdoc serve -selfcheck -quiet \
+		-machine 2,2 -lattices '4,4,4,4;4,4,4,8' -ops wilson,clover -workers 4

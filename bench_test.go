@@ -10,6 +10,9 @@ package qcdoc_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"qcdoc/internal/core"
@@ -25,10 +28,12 @@ import (
 	"qcdoc/internal/machine"
 	"qcdoc/internal/memsys"
 	"qcdoc/internal/node"
+	"qcdoc/internal/obs"
 	"qcdoc/internal/perf"
 	"qcdoc/internal/qmp"
 	"qcdoc/internal/scu"
 	"qcdoc/internal/solver"
+	"qcdoc/internal/telemetry"
 )
 
 // --- E1: solver efficiencies (model) -------------------------------------
@@ -622,6 +627,68 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("disabled", func(b *testing.B) { run(b, false) })
 	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkHistogramRecord pins the observability plane's hot path: one
+// log2-bucket histogram record must cost a few nanoseconds and zero
+// allocations — it runs inside collective completion, link ack, and
+// checkpoint paths (DESIGN.md §15). Reports the recorded distribution's
+// percentiles as custom metrics (benchtables renders them as columns).
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h telemetry.Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i))
+	}
+	s := h.Snapshot()
+	b.ReportMetric(float64(s.P50), "p50")
+	b.ReportMetric(float64(s.P95), "p95")
+	b.ReportMetric(float64(s.P99), "p99")
+}
+
+// BenchmarkMetricsScrape measures the full pull path: snapshot a live
+// 16-node machine's registry (counters, gauges, merged per-node and
+// per-link histograms) and render it as Prometheus exposition text —
+// the per-request cost of GET /metrics against a published snapshot's
+// machine.
+func BenchmarkMetricsScrape(b *testing.B) {
+	eng := event.New()
+	m := machine.Build(eng, machine.DefaultConfig(geom.MakeShape(4, 2, 2)))
+	if err := m.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Shutdown()
+	m.EnableTelemetry()
+	fold := geom.IdentityFold(m.Cfg.Shape)
+	err := m.RunSPMD("warm", func(rank int) node.Program {
+		return func(ctx *node.Ctx) {
+			qmp.New(ctx, fold).GlobalSumFloat64(ctx.P, float64(rank))
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := &obs.Server{}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		srv.PublishMetrics(eng.Now(), m.Reg.Snapshot())
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || len(body) == 0 {
+			b.Fatalf("scrape: %v (%d bytes)", err, len(body))
+		}
+		size = len(body)
+	}
+	b.ReportMetric(float64(size), "bytes")
 }
 
 func BenchmarkGlobalSumMachine(b *testing.B) {

@@ -21,6 +21,10 @@
 //	qcdoc fleet -machine 2,2 -lattices "4,4,4,4;4,4,4,8" -ops wilson,clover -workers 8
 //	    run a campaign: many independent machines in one process,
 //	    sweeping (lattice × operator × fault seed) over a worker pool
+//
+//	qcdoc serve -addr 127.0.0.1:9100 -lattices "4,4,4,4;4,4,4,8"
+//	    run an observed campaign and serve /metrics (Prometheus text),
+//	    /trace (Chrome trace) and /fleet (live progress) over HTTP
 package main
 
 import (
@@ -59,13 +63,15 @@ func main() {
 		cmdChaos(os.Args[2:])
 	case "fleet":
 		cmdFleet(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qcdoc {info|solve|scaling|estimate|chaos|fleet} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qcdoc {info|solve|scaling|estimate|chaos|fleet|serve} [flags]")
 	os.Exit(2)
 }
 

@@ -9,6 +9,7 @@
 //	contsafe  — no blocking coroutine APIs on the continuation tier
 //	shardsafe — no machine-wide hardware access from per-shard code
 //	fleetsafe — no package-level mutable state in sim packages
+//	obssafe   — no telemetry registry/histogram writes in HTTP-serving packages
 //
 // Usage:
 //
@@ -34,6 +35,7 @@ import (
 	"qcdoc/internal/analysis/hotalloc"
 	"qcdoc/internal/analysis/load"
 	"qcdoc/internal/analysis/maprange"
+	"qcdoc/internal/analysis/obssafe"
 	"qcdoc/internal/analysis/shardsafe"
 	"qcdoc/internal/analysis/simtime"
 )
@@ -46,6 +48,7 @@ var analyzers = []*analysis.Analyzer{
 	contsafe.Analyzer,
 	shardsafe.Analyzer,
 	fleetsafe.Analyzer,
+	obssafe.Analyzer,
 }
 
 // listPkg is the subset of `go list -json` the driver needs: where a

@@ -3,6 +3,7 @@
 //
 //	qdaemon -machine 2,2,2           # interactive qcsh REPL
 //	qdaemon -machine 2,2 -c "boot; run j1 demo; output j1"
+//	qdaemon -metrics 127.0.0.1:9100  # also export /metrics (Prometheus text)
 //
 // A demo program ("demo": every node prints its rank and performs a
 // machine-wide global sum) is preloaded.
@@ -12,6 +13,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -20,6 +23,7 @@ import (
 	"qcdoc/internal/geom"
 	"qcdoc/internal/machine"
 	"qcdoc/internal/node"
+	"qcdoc/internal/obs"
 	"qcdoc/internal/qdaemon"
 	"qcdoc/internal/qmp"
 	"qcdoc/internal/qos"
@@ -28,6 +32,7 @@ import (
 func main() {
 	mshape := flag.String("machine", "2,2,2", "six-dimensional machine shape")
 	script := flag.String("c", "", "semicolon-separated commands (default: interactive)")
+	metrics := flag.String("metrics", "", "serve Prometheus-text /metrics on this address (e.g. 127.0.0.1:9100)")
 	flag.Parse()
 
 	var dims []int
@@ -59,6 +64,24 @@ func main() {
 	})
 	sh := &qdaemon.Qcsh{D: d}
 
+	// With -metrics, the daemon doubles as an exporter: telemetry is
+	// enabled, and after every command batch the machine snapshot is
+	// published to an obs.Server. The HTTP side only ever sees published
+	// copies — snapshots are taken here, between engine runs, never
+	// concurrently with the simulation.
+	var srv *obs.Server
+	if *metrics != "" {
+		srv = &obs.Server{}
+		m.EnableTelemetry()
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		go http.Serve(ln, srv.Handler())
+		fmt.Printf("qdaemon: serving /metrics on http://%s\n", ln.Addr())
+	}
+
 	exec := func(line string) {
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -77,6 +100,9 @@ func main() {
 		}
 		if out != "" {
 			fmt.Println(out)
+		}
+		if srv != nil {
+			srv.PublishMetrics(eng.Now(), m.Reg.Snapshot())
 		}
 	}
 

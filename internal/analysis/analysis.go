@@ -82,6 +82,10 @@ const (
 	// write-once read-only data (an immutable table behind a reference
 	// type) that concurrent machines may safely share.
 	MarkerGlobalOK = "qcdoclint:global-ok"
+	// MarkerObsOK waives obssafe: the flagged telemetry mutation in an
+	// HTTP-serving package is known to run on the simulation side (e.g.
+	// test setup), never from a request handler.
+	MarkerObsOK = "qcdoclint:obs-ok"
 )
 
 // NoallocTag is the function annotation hotalloc enforces: a

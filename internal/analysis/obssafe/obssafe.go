@@ -1,0 +1,99 @@
+// Package obssafe keeps the observability plane read-only from the
+// HTTP side.
+//
+// The zero-perturbation contract (DESIGN.md §10, §15) hinges on a
+// one-way data flow: simulator components mutate their own counters
+// and histograms on the engine goroutine, the registry reads them at
+// Snapshot time, and the service surface (internal/obs, `qcdoc serve`)
+// only ever sees published immutable copies. A Registry or Histogram
+// *write* reachable from a request handler would run concurrently with
+// the simulation — a data race at best, and at worst an observation
+// that changes the run. Registries and histograms aren't locked,
+// deliberately: they must stay free on the simulator's hot path.
+//
+// The analyzer approximates "HTTP side" as "package that imports
+// net/http": inside such a package, any call to a mutating method of
+// telemetry.Registry (SetEnabled, RegisterCounters, RegisterGauge,
+// RegisterHistograms, Clear) or telemetry.Histogram (Record, Absorb)
+// is flagged. Reads — Snapshot, Enabled, Sources, Format — stay free.
+// Waive a deliberate simulation-side mutation (test setup, a CLI that
+// enables telemetry before serving) with //qcdoclint:obs-ok.
+package obssafe
+
+import (
+	"go/ast"
+
+	"qcdoc/internal/analysis"
+)
+
+// Analyzer is the obssafe checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "obssafe",
+	Doc: "forbid telemetry.Registry/Histogram mutations in packages that import " +
+		"net/http; HTTP handlers must read published snapshot copies only. " +
+		"Waive a line with //qcdoclint:obs-ok.",
+	Run: run,
+}
+
+// registryWrites are the telemetry.Registry methods that mutate it.
+var registryWrites = map[string]bool{
+	"SetEnabled":         true,
+	"RegisterCounters":   true,
+	"RegisterGauge":      true,
+	"RegisterHistograms": true,
+	"Clear":              true,
+}
+
+// histogramWrites are the telemetry.Histogram methods that mutate it.
+var histogramWrites = map[string]bool{
+	"Record": true,
+	"Absorb": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !importsNetHTTP(pass.Files) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, recv, name, ok := analysis.ReceiverOf(pass.TypesInfo, call)
+			if !ok || !analysis.PkgIs(pkgPath, "telemetry") {
+				return true
+			}
+			var what string
+			switch {
+			case recv == "Registry" && registryWrites[name]:
+				what = "registry"
+			case recv == "Histogram" && histogramWrites[name]:
+				what = "histogram"
+			default:
+				return true
+			}
+			if pass.Suppressed(analysis.MarkerObsOK, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"telemetry %s write %s.%s in an HTTP-serving package; handlers must read published snapshots only (zero-perturbation, DESIGN.md §15), or mark //qcdoclint:obs-ok",
+				what, recv, name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// importsNetHTTP reports whether any file in the package imports
+// net/http directly.
+func importsNetHTTP(files []*ast.File) bool {
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"net/http"` {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package obssafe_test
+
+import (
+	"testing"
+
+	"qcdoc/internal/analysis/analysistest"
+	"qcdoc/internal/analysis/obssafe"
+)
+
+func TestObssafe(t *testing.T) {
+	analysistest.Run(t, "testdata", obssafe.Analyzer, "a")
+}
+
+// TestObssafeIgnoresNonHTTP checks the analyzer is silent in a package
+// that mutates telemetry but never imports net/http — the simulator
+// side, where those writes belong.
+func TestObssafeIgnoresNonHTTP(t *testing.T) {
+	analysistest.Run(t, "testdata", obssafe.Analyzer, "b")
+}

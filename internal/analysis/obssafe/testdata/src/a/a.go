@@ -1,0 +1,37 @@
+// Fixture for the obssafe analyzer: this package imports net/http, so
+// every telemetry.Registry / telemetry.Histogram mutation is flagged;
+// reads (Snapshot, Enabled) are fine, and //qcdoclint:obs-ok waives a
+// line.
+package a
+
+import (
+	"net/http"
+
+	"telemetry"
+)
+
+func handler(reg *telemetry.Registry, h *telemetry.Histogram) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg.SetEnabled(true)  // want `telemetry registry write Registry.SetEnabled`
+		h.Record(42)          // want `telemetry histogram write Histogram.Record`
+		_ = reg.Snapshot()    // reads are fine
+		_ = reg.Enabled()     // reads are fine
+		_ = h.Snapshot()      // reads are fine
+	}
+}
+
+func register(reg *telemetry.Registry) {
+	reg.RegisterCounters("x", func() {})            // want `telemetry registry write Registry.RegisterCounters`
+	reg.RegisterGauge("g", func() float64 { return 0 }) // want `telemetry registry write Registry.RegisterGauge`
+	reg.RegisterHistograms("h", func(int) {})       // want `telemetry registry write Registry.RegisterHistograms`
+	reg.Clear()                                     // want `telemetry registry write Registry.Clear`
+}
+
+func absorb(a, b *telemetry.Histogram) {
+	a.Absorb(b) // want `telemetry histogram write Histogram.Absorb`
+}
+
+func waived(reg *telemetry.Registry) {
+	// Test setup on the simulation side, before serving starts.
+	reg.SetEnabled(true) //qcdoclint:obs-ok enabled before the listener exists
+}

@@ -1,0 +1,12 @@
+// Fixture for the obssafe analyzer: no net/http import, so telemetry
+// mutations are the simulator's own business and nothing is flagged.
+package b
+
+import "telemetry"
+
+func simulate(reg *telemetry.Registry, h *telemetry.Histogram) {
+	reg.SetEnabled(true)
+	reg.RegisterCounters("x", func() {})
+	h.Record(7)
+	reg.Clear()
+}

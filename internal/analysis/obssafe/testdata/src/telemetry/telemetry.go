@@ -1,0 +1,25 @@
+// Package telemetry is a minimal stand-in for qcdoc/internal/telemetry:
+// obssafe matches calls by (package tail, receiver, method name), so the
+// fixture only needs the shapes.
+package telemetry
+
+type Snapshot struct{}
+
+type Registry struct{}
+
+func (r *Registry) SetEnabled(on bool)                                {}
+func (r *Registry) RegisterCounters(prefix string, emit func())       {}
+func (r *Registry) RegisterGauge(name string, get func() float64)     {}
+func (r *Registry) RegisterHistograms(prefix string, emit func(int))  {}
+func (r *Registry) Clear()                                            {}
+func (r *Registry) Enabled() bool                                     { return false }
+func (r *Registry) Snapshot() Snapshot                                { return Snapshot{} }
+
+type HistogramSnapshot struct{}
+
+type Histogram struct{}
+
+func (h *Histogram) Record(v uint64)              {}
+func (h *Histogram) Absorb(o *Histogram)          {}
+func (h *Histogram) Snapshot() HistogramSnapshot  { return HistogramSnapshot{} }
+func (h *Histogram) Count() uint64                { return 0 }

@@ -42,6 +42,7 @@ import (
 	"qcdoc/internal/qmp"
 	"qcdoc/internal/qos"
 	"qcdoc/internal/solver"
+	"qcdoc/internal/telemetry"
 )
 
 // ChaosConfig parameterizes a chaos run.
@@ -81,6 +82,12 @@ type ChaosConfig struct {
 	// across runs (fleet substrate); nil disables pooling. Pooling never
 	// changes the outcome digest.
 	Pool *machine.Pool
+
+	// Telemetry enables the full observability layer on every attempt's
+	// machine and collects the merged histogram snapshots into the
+	// outcome. The digest is invariant under this flag — that invariance
+	// is the zero-perturbation gate (DESIGN.md §15).
+	Telemetry bool
 
 	// Log, when set, receives a human-readable narrative of the run.
 	Log io.Writer
@@ -140,6 +147,11 @@ type ChaosOutcome struct {
 	// must agree on both bit for bit.
 	PlanDigest uint64
 	Digest     uint64
+	// Hists, when ChaosConfig.Telemetry was set, carries the machine
+	// latency distributions merged over every attempt. Deliberately NOT
+	// folded into Digest: the digest must be identical with telemetry
+	// on or off.
+	Hists map[string]telemetry.HistogramSnapshot
 }
 
 // attemptLayout remembers how an attempt spread the lattice over its
@@ -199,6 +211,7 @@ func RunChaosWilson(cfg ChaosConfig) (*ChaosOutcome, error) {
 			return out, err
 		}
 		out.Attempts = append(out.Attempts, att.rec)
+		out.Hists = telemetry.MergeHistogramMaps(out.Hists, att.hists)
 		if att.rec.Aborted {
 			nodes = att.healthyPow2
 			logf("attempt %d: %s", attempt, att.rec.Failure)
@@ -227,6 +240,7 @@ type chaosAttempt struct {
 	met         SolveMetrics
 	solution    *lattice.FermionField
 	healthyPow2 int
+	hists       map[string]telemetry.HistogramSnapshot
 }
 
 func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
@@ -244,6 +258,9 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 		eng.Shutdown()
 		cfg.Pool.Reclaim(eng, m)
 	}()
+	if cfg.Telemetry {
+		m.EnableTelemetry()
+	}
 	if err := m.TrainLinks(); err != nil {
 		return res, err
 	}
@@ -268,11 +285,25 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 			ck := solver.Checkpoint[*lattice.FermionField]{
 				Every: cfg.CheckpointEvery,
 				Save: func(iter int, cur *lattice.FermionField) {
+					// Observability envelope: one flow + span per chunk so a
+					// checkpoint stream exports as a Chrome-trace flow, and
+					// the write's sim time lands in the CkptWrite histogram.
+					peng := ctx.P.Engine()
+					flow := peng.NewFlow()
+					prev := peng.SetFlow(flow)
+					peng.MarkSpanBegin("ckpt-chunk")
+					start := ctx.P.Now()
 					var buf bytes.Buffer
 					if err := checkpoint.WriteSolverState(&buf, cur, uint32(baseIter+iter)); err != nil {
 						panic(err) // bytes.Buffer writes cannot fail
 					}
 					k.WriteFile(ctx.P, chunkName(attempt, baseIter+iter, rank), buf.Bytes())
+					peng.SetFlow(flow)
+					peng.MarkSpanEnd("ckpt-chunk")
+					peng.SetFlow(prev)
+					if ctr := ctx.N.Counters(); ctr != nil {
+						ctr.CkptWrite.Record(uint64(ctx.P.Now() - start))
+					}
 				},
 			}
 			r, err := solver.CGNECheckpointed(sp, dw.Apply, dw.ApplyDag, x, localB, cfg.Tol, cfg.MaxIter, ck)
@@ -302,6 +333,10 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 	})
 	if err := eng.RunAll(); err != nil {
 		return res, err
+	}
+	if cfg.Telemetry {
+		// Capture before the deferred teardown clears the registry.
+		res.hists = m.Reg.Snapshot().Histograms
 	}
 
 	res.rec.Nodes = shape.Volume()

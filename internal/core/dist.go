@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"qcdoc/internal/event"
 	"qcdoc/internal/fermion"
 	"qcdoc/internal/geom"
 	"qcdoc/internal/latmath"
@@ -249,6 +250,7 @@ func DistSpace(ctx *node.Ctx, comm *qmp.Comm, dec lattice.Decomp, kind fermion.O
 		local:      dec.Local,
 		axpyCharge: axpyCharge,
 		dotCharge:  dotCharge,
+		iterAt:     new(event.Time),
 	}
 }
 
@@ -260,6 +262,10 @@ type solverSpace struct {
 	local      lattice.Shape4
 	axpyCharge ppc440.KernelCost
 	dotCharge  ppc440.KernelCost
+	// iterAt remembers (through the value-type copies the Space adapters
+	// make) the simulated time of the previous iteration hook, so
+	// noteIteration can histogram per-iteration sim time.
+	iterAt *event.Time
 }
 
 func (s solverSpace) globalSum(x float64) float64 {
@@ -272,10 +278,21 @@ func (s solverSpace) chargeAXPY() {
 }
 
 // noteIteration feeds the solver's per-iteration hook into the node's
-// telemetry counters (no-op with telemetry disabled).
+// telemetry counters (no-op with telemetry disabled): the iteration
+// count, and the simulated time since the previous iteration into the
+// CG-iteration histogram.
 func (s solverSpace) noteIteration() {
-	if ctr := s.ctx.N.Counters(); ctr != nil {
-		ctr.SolverIterations++
+	ctr := s.ctx.N.Counters()
+	if ctr == nil {
+		return
+	}
+	ctr.SolverIterations++
+	now := s.ctx.P.Now()
+	if s.iterAt != nil {
+		if *s.iterAt != 0 {
+			ctr.IterTime.Record(uint64(now - *s.iterAt))
+		}
+		*s.iterAt = now
 	}
 }
 

@@ -91,11 +91,12 @@ type PayloadHandler interface {
 // heap, so the merged dispatch order over both heaps is total and
 // stable.
 type xitem struct {
-	at  Time
-	seq uint64
-	h   PayloadHandler
-	arg uint64
-	p   Payload
+	at   Time
+	seq  uint64
+	h    PayloadHandler
+	arg  uint64
+	p    Payload
+	flow uint64 // causal trace ID (trace.go); read only at dispatch
 }
 
 // payloadHeap is a binary min-heap of xitems ordered by (at, seq); the
@@ -155,11 +156,12 @@ func (h *payloadHeap) pop() xitem {
 // producing window and the barrier drain: either a payload delivery
 // (h != nil, the hot path) or a closure (the cold control path).
 type xmsg struct {
-	at  Time
-	fn  func()
-	h   PayloadHandler
-	arg uint64
-	p   Payload
+	at   Time
+	fn   func()
+	h    PayloadHandler
+	arg  uint64
+	p    Payload
+	flow uint64 // causal trace ID, carried across the shard boundary
 }
 
 // mailbox is one single-producer/single-consumer cross-shard queue:
@@ -355,9 +357,9 @@ func (c *Cluster) drainMail() {
 				m := &mb.msgs[k]
 				dst.seq++
 				if m.h != nil {
-					dst.xevents.push(xitem{at: m.at, seq: dst.seq, h: m.h, arg: m.arg, p: m.p})
+					dst.xevents.push(xitem{at: m.at, seq: dst.seq, h: m.h, arg: m.arg, p: m.p, flow: m.flow})
 				} else {
-					dst.events.push(item{at: m.at, seq: dst.seq, fn: m.fn})
+					dst.events.push(item{at: m.at, seq: dst.seq, fn: m.fn, flow: m.flow})
 				}
 				c.stats.CrossMessages++
 				mb.msgs[k] = xmsg{} // release closure/handler references
@@ -602,11 +604,13 @@ func (e *Engine) dispatchNext() {
 		x := e.xevents.pop()
 		e.now = x.at
 		e.executed++
+		e.curFlow = x.flow
+		e.lastSeq = x.seq
 		if e.tracer != nil {
 			e.tracer(x.at)
 		}
 		if e.ring != nil {
-			e.ring.recordPayload(x.at, x.seq, x.h, x.arg)
+			e.ring.recordPayload(x.at, x.seq, x.flow, x.h, x.arg)
 		}
 		x.h.HandlePayload(x.arg, x.p)
 		return
@@ -614,11 +618,13 @@ func (e *Engine) dispatchNext() {
 	next := e.events.pop()
 	e.now = next.at
 	e.executed++
+	e.curFlow = next.flow
+	e.lastSeq = next.seq
 	if e.tracer != nil {
 		e.tracer(next.at)
 	}
 	if e.ring != nil {
-		e.ring.record(next.at, next.seq, next.fn, next.h, next.arg)
+		e.ring.record(next.at, next.seq, next.flow, next.fn, next.h, next.arg)
 	}
 	if next.fn != nil {
 		next.fn()
@@ -661,7 +667,7 @@ func (e *Engine) CrossAt(dst Scheduler, t Time, fn func()) {
 		t = min
 	}
 	mb := &e.cluster.mail[e.shard][d.shard]
-	mb.msgs = append(mb.msgs, xmsg{at: t, fn: fn})
+	mb.msgs = append(mb.msgs, xmsg{at: t, fn: fn, flow: e.curFlow})
 }
 
 // CrossPayload schedules h.HandlePayload(arg, p) at t on dst's shard,
@@ -678,7 +684,7 @@ func (e *Engine) CrossPayload(dst Scheduler, t Time, h PayloadHandler, arg uint6
 			t = e.now
 		}
 		e.seq++
-		e.xevents.push(xitem{at: t, seq: e.seq, h: h, arg: arg, p: p})
+		e.xevents.push(xitem{at: t, seq: e.seq, h: h, arg: arg, p: p, flow: e.curFlow})
 		return
 	}
 	if d.cluster != e.cluster {
@@ -690,5 +696,5 @@ func (e *Engine) CrossPayload(dst Scheduler, t Time, h PayloadHandler, arg uint6
 		panic("event: CrossPayload violates cluster lookahead") //qcdoclint:alloc-ok cold error path
 	}
 	mb := &e.cluster.mail[e.shard][d.shard]
-	mb.msgs = append(mb.msgs, xmsg{at: t, h: h, arg: arg, p: p})
+	mb.msgs = append(mb.msgs, xmsg{at: t, h: h, arg: arg, p: p, flow: e.curFlow})
 }

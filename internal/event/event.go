@@ -86,13 +86,17 @@ type Handler interface {
 }
 
 // An item in the event queue: either a closure (fn) or a pre-bound
-// handler invocation (h, arg) when fn is nil.
+// handler invocation (h, arg) when fn is nil. flow is the causal trace
+// ID inherited from the event that scheduled this one (trace.go); it
+// rides in the queue either way and is only ever read at dispatch, so
+// it cannot perturb event order.
 type item struct {
-	at  Time
-	seq uint64 // stable FIFO order among simultaneous events
-	fn  func()
-	h   Handler
-	arg uint64
+	at   Time
+	seq  uint64 // stable FIFO order among simultaneous events
+	fn   func()
+	h    Handler
+	arg  uint64
+	flow uint64
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq). The sift
@@ -171,6 +175,16 @@ type Engine struct {
 	ring     *shardRing      // this shard's ring within rec
 	executed uint64          // events dispatched since New
 
+	// Causal-flow state (trace.go): curFlow is the trace ID of the event
+	// being dispatched (inherited by everything it schedules), flowSeq
+	// numbers the flows this shard has minted, lastSeq is the sequence
+	// number of the current event (reused by span marks so marking never
+	// consumes a sequence number — attaching a recorder must not move
+	// any event's seq).
+	curFlow uint64
+	flowSeq uint64
+	lastSeq uint64
+
 	// Shard identity when this engine is part of a Cluster (cluster.go).
 	// An unclustered engine is its own shard 0.
 	cluster *Cluster
@@ -196,7 +210,7 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	e.events.push(item{at: t, seq: e.seq, fn: fn})
+	e.events.push(item{at: t, seq: e.seq, fn: fn, flow: e.curFlow})
 }
 
 // After schedules fn to run d from now.
@@ -211,8 +225,37 @@ func (e *Engine) AtHandler(t Time, h Handler, arg uint64) {
 		t = e.now
 	}
 	e.seq++
-	e.events.push(item{at: t, seq: e.seq, h: h, arg: arg})
+	e.events.push(item{at: t, seq: e.seq, h: h, arg: arg, flow: e.curFlow})
 }
+
+// NewFlow mints a fresh causal-trace ID, unique per shard and stable
+// across runs and worker counts (shard identity and a per-shard
+// counter, both deterministic). The ID does not become current until
+// SetFlow installs it.
+//
+//qcdoc:noalloc
+func (e *Engine) NewFlow() uint64 {
+	e.flowSeq++
+	return uint64(e.shard+1)<<40 | e.flowSeq
+}
+
+// SetFlow makes f the current causal flow — every event scheduled from
+// now on (until the next dispatch or SetFlow) carries f in its trace
+// slot — and returns the previous flow so initiators can restore it.
+// Flow state is pure trace metadata: it is read only by the flight
+// recorder, so the simulated event stream is identical whether or not
+// anyone ever sets a flow.
+//
+//qcdoc:noalloc
+func (e *Engine) SetFlow(f uint64) (prev uint64) {
+	prev = e.curFlow
+	e.curFlow = f
+	return prev
+}
+
+// CurrentFlow returns the flow ID of the event being dispatched (0 when
+// nothing upstream started a flow).
+func (e *Engine) CurrentFlow() uint64 { return e.curFlow }
 
 // AfterHandler schedules h.HandleEvent(arg) d from now, allocation-free.
 //qcdoc:noalloc

@@ -24,6 +24,7 @@ import (
 	"qcdoc/internal/geom"
 	"qcdoc/internal/lattice"
 	"qcdoc/internal/machine"
+	"qcdoc/internal/telemetry"
 )
 
 // Spec describes one run of a campaign: a machine, a problem, and —
@@ -83,6 +84,17 @@ type Result struct {
 	SimTime     event.Time
 	Digest      uint64
 	Err         error
+
+	// Observability sidecar, populated only under Config.Observe /
+	// Config.TraceEvents and never folded into Digest (the digest must
+	// be invariant under observation — DESIGN.md §15). Hists carries the
+	// run's machine-wide latency distributions; Snap the full telemetry
+	// snapshot (solve runs only — chaos attempts tear their machines
+	// down, so only their merged histograms survive); Trace the run's
+	// flight recorder, pid-namespaced by spec index for merged export.
+	Hists map[string]telemetry.HistogramSnapshot
+	Snap  telemetry.Snapshot
+	Trace *event.Recorder
 }
 
 func (r Result) String() string {
@@ -108,6 +120,21 @@ type Config struct {
 	// Log, when set, receives one line per completed run. Lines appear
 	// in completion order; the returned slice is always in spec order.
 	Log io.Writer
+
+	// Observe enables the full telemetry layer on every run's machine
+	// and collects per-run histogram snapshots into Result.Hists.
+	// Per-run digests are invariant under Observe.
+	Observe bool
+	// TraceEvents, when positive, attaches a flight recorder of that
+	// per-shard capacity to each solve run's engine (pid = spec index),
+	// collected into Result.Trace. Chaos runs ignore it (their machines
+	// are rebuilt per attempt).
+	TraceEvents int
+	// OnResult, when set, observes each completed run as it finishes —
+	// the live-campaign feed behind `qcdoc serve`'s /fleet endpoint. It
+	// is called from campaign worker goroutines (completion order, not
+	// spec order) and must be safe for concurrent use.
+	OnResult func(i int, r Result)
 }
 
 // Run executes every spec and returns results in spec order. Each run
@@ -131,11 +158,14 @@ func Run(cfg Config, specs []Spec) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(specs[i], cfg.Pool)
+				results[i] = runOne(specs[i], cfg, i)
 				if cfg.Log != nil {
 					logMu.Lock()
 					fmt.Fprintln(cfg.Log, results[i])
 					logMu.Unlock()
+				}
+				if cfg.OnResult != nil {
+					cfg.OnResult(i, results[i])
 				}
 			}
 		}()
@@ -222,15 +252,17 @@ func Digest(rs []Result) uint64 {
 	return h
 }
 
-// runOne executes a single spec on its own machine.
-func runOne(s Spec, pool *machine.Pool) Result {
+// runOne executes a single spec on its own machine. The spec index i
+// only namespaces observability output (trace pids); it never reaches
+// the simulation.
+func runOne(s Spec, cfg Config, i int) Result {
 	if s.Chaos {
-		return runChaos(s, pool)
+		return runChaos(s, cfg)
 	}
-	return runSolve(s, pool)
+	return runSolve(s, cfg, i)
 }
 
-func runChaos(s Spec, pool *machine.Pool) Result {
+func runChaos(s Spec, cfg Config) Result {
 	out, err := core.RunChaosWilson(core.ChaosConfig{
 		Shape:           s.Machine,
 		Global:          s.Global,
@@ -243,7 +275,8 @@ func runChaos(s Spec, pool *machine.Pool) Result {
 		Spec:            s.Faults,
 		Shards:          s.Shards,
 		Workers:         s.Workers,
-		Pool:            pool,
+		Pool:            cfg.Pool,
+		Telemetry:       cfg.Observe,
 	})
 	res := Result{Name: s.Name, Err: err}
 	if out != nil {
@@ -256,22 +289,32 @@ func runChaos(s Spec, pool *machine.Pool) Result {
 		res.RelResidual = out.RelResidual
 		res.SolutionCRC = out.SolutionCRC
 		res.Digest = out.Digest
+		res.Hists = out.Hists
 	}
 	return res
 }
 
-func runSolve(s Spec, pool *machine.Pool) Result {
+func runSolve(s Spec, cfg Config, i int) Result {
 	res := Result{Name: s.Name}
 	mcfg := machine.DefaultConfig(s.Machine)
 	mcfg.Shards = s.Shards
 	mcfg.Workers = s.Workers
-	mcfg.Pool = pool
+	mcfg.Pool = cfg.Pool
 	sess, err := core.NewSessionConfig(mcfg, s.Global)
 	if err != nil {
 		res.Err = err
 		return res
 	}
 	defer sess.Close()
+	if cfg.Observe {
+		sess.M.EnableTelemetry()
+	}
+	if cfg.TraceEvents > 0 {
+		rec := event.NewRecorder(cfg.TraceEvents)
+		rec.SetMachineID(i)
+		sess.Eng.SetRecorder(rec)
+		res.Trace = rec
+	}
 
 	gauge := lattice.NewGaugeField(s.Global)
 	gauge.Randomize(s.Seed)
@@ -309,6 +352,11 @@ func runSolve(s Spec, pool *machine.Pool) Result {
 		res.Err = err
 		return res
 	}
+	if cfg.Observe {
+		// Snapshot before the deferred Close clears the registry.
+		res.Snap = sess.M.Reg.Snapshot()
+		res.Hists = res.Snap.Histograms
+	}
 	res.Iterations = met.Iterations
 	res.Attempts = 1
 	res.Converged = true
@@ -317,6 +365,18 @@ func runSolve(s Spec, pool *machine.Pool) Result {
 	res.SimTime = met.SimTime
 	res.Digest = solveDigest(met, crc)
 	return res
+}
+
+// Aggregate folds every run's latency distributions into one
+// campaign-wide map: per-histogram merge of counts, sums, maxima and
+// bucket contents, with percentiles recomputed from the merged
+// buckets. Purely a read over Result sidecars.
+func Aggregate(rs []Result) map[string]telemetry.HistogramSnapshot {
+	var agg map[string]telemetry.HistogramSnapshot
+	for _, r := range rs {
+		agg = telemetry.MergeHistogramMaps(agg, r.Hists)
+	}
+	return agg
 }
 
 // solveDigest fingerprints a solve run's observable outcome: iteration

@@ -2,6 +2,7 @@ package fleet_test
 
 import (
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -146,8 +147,17 @@ func TestFleet32MachinesLifecycleHygiene(t *testing.T) {
 
 	before := runtime.NumGoroutine()
 	pool := machine.NewPool()
-	conc := fleet.Run(fleet.Config{Workers: 8, Pool: pool}, specs)
+	// The concurrent leg runs fully observed (telemetry + per-run flight
+	// recorders): the digests must still match the dark serial leg, and
+	// teardown must reclaim everything — including registry sources.
+	conc := fleet.Run(fleet.Config{Workers: 8, Pool: pool, Observe: true, TraceEvents: 256}, specs)
 	requireSameDigests(t, serial, conc)
+	for i := range conc {
+		if len(conc[i].Hists) == 0 || conc[i].Trace == nil {
+			t.Fatalf("run %q observed nothing: %d hists, trace %v",
+				conc[i].Name, len(conc[i].Hists), conc[i].Trace)
+		}
+	}
 
 	// Zero leaked timers: everything reclaimed into the pool is empty.
 	// (Engine shutdown unwinds synchronously, so a leak would show up
@@ -173,6 +183,115 @@ func TestFleet32MachinesLifecycleHygiene(t *testing.T) {
 	}
 	if after := runtime.NumGoroutine(); after > before {
 		t.Errorf("goroutines leaked: %d before fleet, %d after", before, after)
+	}
+}
+
+// TestFleetObserveZeroPerturbation is the campaign-level zero-
+// perturbation gate: the same specs run dark and fully observed
+// (telemetry, link histograms, flight recorders) must produce
+// bit-identical per-run digests — for solve and chaos runs alike —
+// while the observed leg actually collects distributions.
+func TestFleetObserveZeroPerturbation(t *testing.T) {
+	specs := fleet.Sweep(solveBase(),
+		[]lattice.Shape4{{4, 4, 4, 4}},
+		[]fermion.OpKind{fermion.WilsonKind, fermion.CloverKind},
+		nil)
+	specs = append(specs, fleet.Sweep(chaosBase(), nil, nil, []uint64{16})...)
+
+	dark := fleet.Run(fleet.Config{Workers: 2, Pool: machine.NewPool()}, specs)
+	seen := 0
+	observed := fleet.Run(fleet.Config{
+		Workers: 2, Pool: machine.NewPool(),
+		Observe: true, TraceEvents: 512,
+		OnResult: func(i int, r fleet.Result) { seen++ },
+	}, specs)
+	requireSameDigests(t, dark, observed)
+	if seen != len(specs) {
+		t.Fatalf("OnResult fired %d times, want %d", seen, len(specs))
+	}
+
+	for i, r := range observed {
+		if len(r.Hists) == 0 {
+			t.Fatalf("observed run %q collected no histograms", r.Name)
+		}
+		if h, ok := r.Hists["machine/gsum_rtt_ps"]; !ok || h.Count == 0 {
+			t.Fatalf("run %q: gsum_rtt_ps %+v", r.Name, h)
+		}
+		if specs[i].Chaos {
+			if r.Trace != nil {
+				t.Fatalf("chaos run %q has a trace (machines are per-attempt)", r.Name)
+			}
+			if h, ok := r.Hists["qdaemon/watchdog_detect_ps"]; !ok || h.Count == 0 {
+				t.Fatalf("chaos run %q: watchdog_detect_ps %+v", r.Name, h)
+			}
+			if h, ok := r.Hists["machine/ckpt_chunk_write_ps"]; !ok || h.Count == 0 {
+				t.Fatalf("chaos run %q: ckpt_chunk_write_ps %+v", r.Name, h)
+			}
+		} else {
+			if r.Trace == nil || r.Trace.MachineID() != i {
+				t.Fatalf("solve run %q trace/pid: %v", r.Name, r.Trace)
+			}
+			if len(r.Snap.Counters) == 0 {
+				t.Fatalf("solve run %q: empty snapshot", r.Name)
+			}
+			if h, ok := r.Hists["machine/cg_iter_ps"]; !ok || h.Count == 0 {
+				t.Fatalf("solve run %q: cg_iter_ps %+v", r.Name, h)
+			}
+		}
+	}
+	// The dark leg carries no observability sidecar at all.
+	for _, r := range dark {
+		if r.Hists != nil || r.Trace != nil || r.Snap.Counters != nil {
+			t.Fatalf("dark run %q leaked observability: %+v", r.Name, r)
+		}
+	}
+
+	// Campaign aggregate: counts sum over runs, max is the global max.
+	agg := fleet.Aggregate(observed)
+	var count, max uint64
+	for _, r := range observed {
+		count += r.Hists["machine/gsum_rtt_ps"].Count
+		if m := r.Hists["machine/gsum_rtt_ps"].Max; m > max {
+			max = m
+		}
+	}
+	if a := agg["machine/gsum_rtt_ps"]; a.Count != count || a.Max != max {
+		t.Fatalf("aggregate %+v, want count %d max %d", a, count, max)
+	}
+}
+
+// TestFleetMergedTraceByteStable pins the fleet Chrome-trace export:
+// two identical observed campaigns must render byte-identical merged
+// trace documents, with events namespaced by per-run pids.
+func TestFleetMergedTraceByteStable(t *testing.T) {
+	specs := fleet.Sweep(solveBase(),
+		[]lattice.Shape4{{4, 4, 4, 4}, {4, 4, 4, 8}},
+		nil, nil)
+	export := func() string {
+		rs := fleet.Run(fleet.Config{
+			Workers: 2, Pool: machine.NewPool(), Observe: true, TraceEvents: 1024,
+		}, specs)
+		var recs []*event.Recorder
+		for _, r := range rs {
+			if r.Err != nil {
+				t.Fatalf("run %q: %v", r.Name, r.Err)
+			}
+			recs = append(recs, r.Trace)
+		}
+		var sb strings.Builder
+		if err := event.WriteChromeTraceMerged(&sb, recs, 0); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	doc := export()
+	if doc2 := export(); doc != doc2 {
+		t.Fatal("two identical campaigns exported different merged traces")
+	}
+	for _, want := range []string{`"pid":0`, `"pid":1`, `"name":"gsum"`, `"cat":"flow"`} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("merged trace missing %s", want)
+		}
 	}
 }
 

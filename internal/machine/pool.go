@@ -86,8 +86,13 @@ func (p *Pool) NewEngine() *event.Engine {
 // already be shut down, and neither it nor the machine may be used
 // afterwards. Shard engines built by Clusterize keep their storage (the
 // cluster owns them); only the host engine's arrays are pooled. Nil
-// pool, engine, or machine are all no-ops.
+// pool, engine, or machine are all no-ops — except that the machine's
+// telemetry registry is always cleared, pool or no pool, so teardown
+// never leaves emit closures of a dead machine registered anywhere.
 func (p *Pool) Reclaim(eng *event.Engine, m *Machine) {
+	if m != nil && m.Reg != nil {
+		m.Reg.Clear()
+	}
 	if p == nil {
 		return
 	}

@@ -51,6 +51,7 @@ func (m *Machine) registerTelemetry() {
 		emit("bits", w.Bits)
 		emit("corrupted", w.Corrupted)
 	})
+	m.Reg.RegisterHistograms("machine", m.emitHistograms)
 	pkg := PackagingFor(len(m.Nodes), m.Cfg.Clock)
 	m.Reg.RegisterGauge("machine/link_utilization", m.LinkUtilization)
 	m.Reg.RegisterGauge("machine/sustained_gflops", func() float64 { return m.SustainedFlops() / 1e9 })
@@ -65,12 +66,40 @@ func (m *Machine) registerTelemetry() {
 }
 
 // EnableTelemetry switches the whole layer on: the registry starts
-// collecting and every node starts counting. Idempotent.
+// collecting, every node starts counting, and every link starts
+// recording its latency distributions. Idempotent.
 func (m *Machine) EnableTelemetry() {
 	m.Reg.SetEnabled(true)
 	for _, n := range m.Nodes {
 		n.EnableCounters()
+		n.SCU.EnableLinkHists()
 	}
+}
+
+// emitHistograms merges the per-node and per-link latency distributions
+// machine-wide and emits them in a fixed order. Snapshot-time only —
+// the merge walks histograms the simulator already maintains; it never
+// touches hot-path state.
+func (m *Machine) emitHistograms(emit telemetry.HistEmitFunc) {
+	var gsum, iter, ckpt, inflight, gap telemetry.Histogram
+	for _, n := range m.Nodes {
+		if c := n.Counters(); c != nil {
+			gsum.Absorb(&c.GsumTime)
+			iter.Absorb(&c.IterTime)
+			ckpt.Absorb(&c.CkptWrite)
+		}
+		for _, l := range geom.AllLinks() {
+			if lh := n.SCU.LinkHists(l); lh != nil {
+				inflight.Absorb(&lh.InFlight)
+				gap.Absorb(&lh.ResendGap)
+			}
+		}
+	}
+	emit("gsum_rtt_ps", gsum.Snapshot())
+	emit("cg_iter_ps", iter.Snapshot())
+	emit("ckpt_chunk_write_ps", ckpt.Snapshot())
+	emit("link_in_flight_ps", inflight.Snapshot())
+	emit("link_resend_gap_ps", gap.Snapshot())
 }
 
 // TelemetryEnabled reports whether EnableTelemetry has run.
@@ -158,7 +187,11 @@ type Telemetry struct {
 	Links        []LinkTelemetry    `json:"links,omitempty"`
 	Counters     map[string]uint64  `json:"counters,omitempty"`
 	Gauges       map[string]float64 `json:"gauges,omitempty"`
-	Packaging    Packaging          `json:"packaging"`
+	// Histograms carries the latency distributions (p50/p95/p99/max per
+	// DESIGN.md §15): global-sum round trip, CG iteration, checkpoint
+	// chunk write, link in-flight and resend gap.
+	Histograms map[string]telemetry.HistogramSnapshot `json:"histograms,omitempty"`
+	Packaging  Packaging                              `json:"packaging"`
 }
 
 // Telemetry assembles the machine-wide snapshot. Purely a read — no
@@ -175,6 +208,7 @@ func (m *Machine) Telemetry() Telemetry {
 		Wires:        m.WireStats(),
 		Counters:     snap.Counters,
 		Gauges:       snap.Gauges,
+		Histograms:   snap.Histograms,
 		Packaging:    PackagingFor(len(m.Nodes), m.Cfg.Clock),
 	}
 	for r, n := range m.Nodes {

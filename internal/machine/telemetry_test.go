@@ -128,6 +128,20 @@ func TestMachineTelemetrySnapshot(t *testing.T) {
 	if want := tel.Gauges["machine/sustained_gflops"] / tel.Gauges["machine/peak_gflops"]; eff < want*0.999 || eff > want*1.001 {
 		t.Fatalf("efficiency %g, want %g", eff, want)
 	}
+	// Latency distributions (DESIGN.md §15): the global sum above must
+	// have recorded a round trip on every node, and the per-link in-flight
+	// distribution must cover every acked word.
+	gs := tel.Histograms["machine/gsum_rtt_ps"]
+	if gs.Count != 2*4 { // 2 collectives (sum + barrier) x 4 nodes
+		t.Fatalf("gsum_rtt_ps count %d, want 8", gs.Count)
+	}
+	if gs.P50 == 0 || gs.P99 < gs.P50 || gs.Max < gs.P99 || gs.Max > uint64(tel.At) {
+		t.Fatalf("gsum_rtt_ps percentiles inconsistent: %+v", gs)
+	}
+	fl := tel.Histograms["machine/link_in_flight_ps"]
+	if fl.Count == 0 || fl.P50 == 0 {
+		t.Fatalf("link_in_flight_ps %+v", fl)
+	}
 }
 
 // TestTelemetryDisabledSnapshotIsEmpty pins the pull-based design: a

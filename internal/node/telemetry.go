@@ -5,6 +5,7 @@ import (
 	"qcdoc/internal/memsys"
 	"qcdoc/internal/ppc440"
 	"qcdoc/internal/scu"
+	"qcdoc/internal/telemetry"
 )
 
 // This file is the node's half of the telemetry layer (DESIGN.md §10):
@@ -47,6 +48,12 @@ type Counters struct {
 	Broadcasts       uint64
 	Barriers         uint64
 	SolverIterations uint64
+	// Latency distributions (picoseconds of simulated time), recorded by
+	// the qmp, solver and checkpoint hooks on the same nil-gated paths as
+	// the scalar counters; machine.Telemetry merges them machine-wide.
+	GsumTime  telemetry.Histogram
+	IterTime  telemetry.Histogram
+	CkptWrite telemetry.Histogram
 }
 
 // EnableCounters switches the node's telemetry counters on and returns

@@ -1,0 +1,113 @@
+package obs_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"qcdoc/internal/fleet"
+	"qcdoc/internal/geom"
+	"qcdoc/internal/lattice"
+	"qcdoc/internal/machine"
+	"qcdoc/internal/obs"
+)
+
+// TestMetricsScrapeFromLiveCampaign is the service-surface acceptance
+// test: an HTTP server scrapes /metrics continuously WHILE an observed
+// fleet campaign runs — campaign workers publish from their goroutines,
+// scrapers read concurrently (exercised under -race by `make check`) —
+// and the final scrape carries the campaign's counters and latency
+// summaries.
+func TestMetricsScrapeFromLiveCampaign(t *testing.T) {
+	srv := &obs.Server{}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	specs := fleet.Sweep(fleet.Spec{
+		Machine: geom.MakeShape(2, 2), Global: lattice.Shape4{4, 4, 4, 4},
+		Mass: 0.5, Tol: 1e-4, MaxIter: 100, Seed: 1,
+	}, []lattice.Shape4{{4, 4, 4, 4}, {4, 4, 4, 8}}, nil, nil)
+
+	// Scrape continuously until the campaign finishes.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	scrapes := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				scrapes++
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	done := 0
+	var last fleet.Result
+	results := fleet.Run(fleet.Config{
+		Workers: 2, Pool: machine.NewPool(), Observe: true,
+		OnResult: func(i int, r fleet.Result) {
+			mu.Lock()
+			done++
+			srv.PublishFleet(obs.FleetStatus{Total: len(specs), Done: done})
+			if r.Err == nil {
+				last = r
+				srv.PublishMetrics(r.SimTime, r.Snap)
+			}
+			mu.Unlock()
+		},
+	}, specs)
+	close(stop)
+	wg.Wait()
+
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("run %q: %v", r.Name, r.Err)
+		}
+	}
+	if scrapes == 0 {
+		t.Fatal("no scrapes completed during the campaign")
+	}
+	if h := last.Hists["machine/gsum_rtt_ps"]; h.Count == 0 {
+		t.Fatalf("last result collected no gsum distribution: %+v", h)
+	}
+
+	// Final state: the last published snapshot's counters and latency
+	// summaries are on the wire.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"qcdoc_machine_scu_words_sent",
+		"qcdoc_machine_gsum_rtt_ps_count",
+		`qcdoc_machine_cg_iter_ps{quantile="0.99"}`,
+		"qcdoc_fleet_runs_done 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("final /metrics missing %q in:\n%s", want, text[:min(len(text), 2000)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -100,6 +100,8 @@ type Watchdog struct {
 	// peeks that exhausted their retries (each also counts as a miss).
 	Polls      uint64
 	PeekErrors uint64
+	// DetectHist is the distribution of detection latencies.
+	DetectHist telemetry.Histogram
 	// Failures is every detected death, in detection order.
 	Failures []FailureRecord
 	// OnFailure, when set, observes each detection (after the partition
@@ -129,6 +131,9 @@ func (d *Daemon) StartWatchdog(cfg WatchdogConfig) *Watchdog {
 		for _, f := range w.Failures {
 			emit(fmt.Sprintf("detect_latency_ps/node%d", f.Rank), uint64(f.DetectLatency))
 		}
+	})
+	d.M.Reg.RegisterHistograms("qdaemon", func(emit telemetry.HistEmitFunc) {
+		emit("watchdog_detect_ps", w.DetectHist.Snapshot())
 	})
 	d.Eng.SpawnDaemon("qdaemon watchdog", w.loop)
 	return w
@@ -198,6 +203,14 @@ func (w *Watchdog) poll(p *event.Proc, r int) {
 }
 
 func (w *Watchdog) declareDead(r int, crashed bool, now event.Time) {
+	// Everything the detection triggers — isolation, job abort, the
+	// recovery the driver runs next — descends causally from here, so
+	// open a fresh flow: the whole detect→isolate→recover sequence
+	// exports as one Chrome-trace flow. Trace metadata only.
+	eng := w.d.Eng
+	flow := eng.NewFlow()
+	prev := eng.SetFlow(flow)
+	eng.MarkSpanBegin("failure-recovery")
 	w.dead[r] = true
 	rec := FailureRecord{
 		Rank:          r,
@@ -205,10 +218,13 @@ func (w *Watchdog) declareDead(r int, crashed bool, now event.Time) {
 		DetectedAt:    now,
 		DetectLatency: now - w.lastLive[r],
 	}
+	w.DetectHist.Record(uint64(rec.DetectLatency))
 	rec.Board, _ = w.d.Part.MarkFailed(r)
 	w.Failures = append(w.Failures, rec)
 	w.d.AbortJob(&AbortError{Job: w.d.activeJob, Rec: rec})
 	if w.OnFailure != nil {
 		w.OnFailure(rec)
 	}
+	eng.MarkSpanEnd("failure-recovery")
+	eng.SetFlow(prev)
 }

@@ -90,12 +90,14 @@ func (c *Comm) SendSupervisor(axis int, dir geom.Dir, w uint64) error {
 // accumulated in canonical coordinate order (bit-reproducible).
 func (c *Comm) GlobalSumFloat64(p *event.Proc, x float64) float64 {
 	c.noteGlobalSum()
+	start, flow, prev := c.gsumBegin(p)
 	shape := c.fold.Logical()
 	for axis := 0; axis < geom.MaxDim; axis++ {
 		if shape[axis] > 1 {
 			x = c.axisSum(p, axis, x, false)
 		}
 	}
+	c.gsumEnd(p, start, flow, prev)
 	return x
 }
 
@@ -104,18 +106,21 @@ func (c *Comm) GlobalSumFloat64(p *event.Proc, x float64) float64 {
 // halving the hop count (Nx/2 + Ny/2 + ... instead of Nx + Ny + ... - 4).
 func (c *Comm) GlobalSumFloat64Doubled(p *event.Proc, x float64) float64 {
 	c.noteGlobalSum()
+	start, flow, prev := c.gsumBegin(p)
 	shape := c.fold.Logical()
 	for axis := 0; axis < geom.MaxDim; axis++ {
 		if shape[axis] > 1 {
 			x = c.axisSum(p, axis, x, true)
 		}
 	}
+	c.gsumEnd(p, start, flow, prev)
 	return x
 }
 
 // GlobalSumUint64 sums unsigned words (useful for counters and votes).
 func (c *Comm) GlobalSumUint64(p *event.Proc, x uint64) uint64 {
 	c.noteGlobalSum()
+	start, flow, prev := c.gsumBegin(p)
 	// Ride the float path bit-exactly only for small integers; do it
 	// directly instead: same rings, integer accumulate.
 	shape := c.fold.Logical()
@@ -130,7 +135,36 @@ func (c *Comm) GlobalSumUint64(p *event.Proc, x uint64) uint64 {
 		}
 		x = sum
 	}
+	c.gsumEnd(p, start, flow, prev)
 	return x
+}
+
+// gsumBegin opens the observability envelope around one global sum: a
+// fresh causal flow (so every wire event the reduction schedules — on
+// this shard and, via the cluster mailboxes, on every shard it crosses
+// — carries one trace ID), a span-begin mark, and the start time for
+// the round-trip histogram. Pure trace metadata plus a clock read:
+// nothing here schedules or reorders an event.
+func (c *Comm) gsumBegin(p *event.Proc) (start event.Time, flow, prev uint64) {
+	eng := p.Engine()
+	flow = eng.NewFlow()
+	prev = eng.SetFlow(flow)
+	eng.MarkSpanBegin("gsum")
+	return p.Now(), flow, prev
+}
+
+// gsumEnd closes the envelope: re-assert the flow (wake events may have
+// switched it), drop the span-end mark, restore the caller's flow, and
+// record the round trip into the node's histogram (nil-gated like every
+// counter).
+func (c *Comm) gsumEnd(p *event.Proc, start event.Time, flow, prev uint64) {
+	eng := p.Engine()
+	eng.SetFlow(flow)
+	eng.MarkSpanEnd("gsum")
+	eng.SetFlow(prev)
+	if ctr := c.n.Counters(); ctr != nil {
+		ctr.GsumTime.Record(uint64(p.Now() - start))
+	}
 }
 
 // axisSum reduces along one logical axis.

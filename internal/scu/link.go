@@ -11,11 +11,14 @@ import (
 )
 
 // pendingWord is a transmitted-but-unacknowledged data word held in the
-// SCU's resend registers.
+// SCU's resend registers. sentAt is the last transmission time, kept
+// for the in-flight/resend-gap histograms (telemetry only; the resend
+// protocol never reads it).
 type pendingWord struct {
-	seq  int
-	word uint64
-	t    *Transfer // owning send transfer; nil for injected global words
+	seq    int
+	word   uint64
+	sentAt event.Time
+	t      *Transfer // owning send transfer; nil for injected global words
 }
 
 // Transmit-engine state labels (continuation tier).
@@ -44,6 +47,7 @@ type linkUnit struct {
 	in   *hssl.Wire
 
 	stats Stats
+	hist  *LinkHists      // latency distributions; nil until enabled
 	txSum scupkt.Checksum // data words transmitted (first transmissions)
 	rxSum scupkt.Checksum // data words accepted in order
 
@@ -258,7 +262,7 @@ func (lu *linkUnit) sendHeld() {
 	seq := lu.seqNext
 	lu.seqNext = (lu.seqNext + 1) % scupkt.SeqMod
 	lu.unacked[(lu.unackedHead+lu.unackedLen)%scupkt.SeqMod] =
-		pendingWord{seq: seq, word: lu.heldWord, t: lu.heldT}
+		pendingWord{seq: seq, word: lu.heldWord, sentAt: lu.scu.eng.Now(), t: lu.heldT}
 	lu.unackedLen++
 	lu.sendPacket(scupkt.Packet{Kind: scupkt.DataKind(seq), Payload: lu.heldWord})
 	lu.txSum.Add(lu.heldWord)
@@ -286,10 +290,22 @@ func (lu *linkUnit) ackTimeout() {
 		lu.beginRetrain()
 		return
 	}
-	pw := lu.unacked[lu.unackedHead]
+	pw := &lu.unacked[lu.unackedHead]
 	lu.sendPacket(scupkt.Packet{Kind: scupkt.DataKind(pw.seq), Payload: pw.word})
 	lu.stats.Resends++
+	lu.noteResend(pw)
 	lu.ackTimer.Arm(lu.scu.cfg.AckTimeout)
+}
+
+// noteResend records the gap since the word's last transmission and
+// restamps it. Telemetry only; one nil test when disabled.
+//qcdoc:noalloc
+func (lu *linkUnit) noteResend(pw *pendingWord) {
+	now := lu.scu.eng.Now()
+	if lu.hist != nil {
+		lu.hist.ResendGap.Record(uint64(now - pw.sentAt))
+	}
+	pw.sentAt = now
 }
 
 // sendSupervisor transmits a supervisor word with stop-and-wait
@@ -359,9 +375,10 @@ func (lu *linkUnit) retrainDone() {
 	}
 	lu.retraining = false
 	for i := 0; i < lu.unackedLen; i++ {
-		pw := lu.unacked[(lu.unackedHead+i)%scupkt.SeqMod]
+		pw := &lu.unacked[(lu.unackedHead+i)%scupkt.SeqMod]
 		lu.sendPacket(scupkt.Packet{Kind: scupkt.DataKind(pw.seq), Payload: pw.word})
 		lu.stats.Resends++
+		lu.noteResend(pw)
 	}
 	if lu.unackedLen > 0 {
 		lu.ackTimer.Arm(lu.scu.cfg.AckTimeout)
@@ -570,6 +587,9 @@ func (lu *linkUnit) handleAck(flags uint8) {
 			pw := lu.unacked[lu.unackedHead]
 			lu.unackedHead = (lu.unackedHead + 1) % scupkt.SeqMod
 			lu.unackedLen--
+			if lu.hist != nil {
+				lu.hist.InFlight.Record(uint64(lu.scu.eng.Now() - pw.sentAt))
+			}
 			if pw.t != nil {
 				pw.t.progress(lu.scu.eng, lu.scu.eng.Now())
 			}
@@ -590,9 +610,10 @@ func (lu *linkUnit) handleAck(flags uint8) {
 		// Automatic hardware resend: rewind and retransmit every word
 		// still unacknowledged, in order.
 		for i := 0; i < lu.unackedLen; i++ {
-			pw := lu.unacked[(lu.unackedHead+i)%scupkt.SeqMod]
+			pw := &lu.unacked[(lu.unackedHead+i)%scupkt.SeqMod]
 			lu.sendPacket(scupkt.Packet{Kind: scupkt.DataKind(pw.seq), Payload: pw.word})
 			lu.stats.Resends++
+			lu.noteResend(pw)
 		}
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"qcdoc/internal/geom"
 	"qcdoc/internal/hssl"
 	"qcdoc/internal/scupkt"
+	"qcdoc/internal/telemetry"
 )
 
 // Memory is the SCU's view of the node's local memory: 64-bit words at
@@ -406,6 +407,36 @@ func (s *SCU) LinkStats(l geom.Link) Stats {
 		return lu.stats
 	}
 	return Stats{}
+}
+
+// LinkHists holds one link's latency distributions: how long each data
+// word stayed unacknowledged (first transmission to the cumulative ack
+// that retired it) and the gap between successive transmissions of a
+// resent word. Nil-gated like the node counter block: recording costs
+// one pointer test when disabled.
+type LinkHists struct {
+	InFlight  telemetry.Histogram
+	ResendGap telemetry.Histogram
+}
+
+// EnableLinkHists switches on per-link latency histograms for every
+// attached link. Idempotent; enabling mid-run starts the distributions
+// from empty.
+func (s *SCU) EnableLinkHists() {
+	for _, lu := range s.links {
+		if lu != nil && lu.hist == nil {
+			lu.hist = &LinkHists{}
+		}
+	}
+}
+
+// LinkHists returns link l's histogram block, or nil when disabled or
+// the link is unattached.
+func (s *SCU) LinkHists(l geom.Link) *LinkHists {
+	if lu := s.links[geom.LinkIndex(l)]; lu != nil {
+		return lu.hist
+	}
+	return nil
 }
 
 // Checksums returns the transmit-side and receive-side end-of-link

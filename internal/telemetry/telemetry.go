@@ -36,6 +36,18 @@ type gaugeSource struct {
 	get  func() float64
 }
 
+// HistEmitFunc receives one named histogram snapshot during a registry
+// snapshot. The emitting source builds the HistogramSnapshot itself
+// (typically by merging per-node or per-link Histograms), so all
+// aggregation cost lives on the cold pull path.
+type HistEmitFunc func(name string, s HistogramSnapshot)
+
+// histSource is one registered histogram group.
+type histSource struct {
+	prefix string
+	emit   func(HistEmitFunc)
+}
+
 // Registry is a catalogue of telemetry sources, usually one per machine.
 // It is not safe for concurrent use; like everything else in the
 // simulator it lives on the engine goroutine.
@@ -43,6 +55,7 @@ type Registry struct {
 	enabled  bool
 	counters []counterSource
 	gauges   []gaugeSource
+	hists    []histSource
 }
 
 // New creates an empty, disabled registry.
@@ -69,15 +82,36 @@ func (r *Registry) RegisterGauge(name string, get func() float64) {
 	r.gauges = append(r.gauges, gaugeSource{name: name, get: get})
 }
 
+// RegisterHistograms adds a histogram group. Every name the emit
+// callback reports is prefixed with "prefix/". Like counters, only the
+// reader closure is stored; histograms are walked at snapshot time.
+func (r *Registry) RegisterHistograms(prefix string, emit func(HistEmitFunc)) {
+	r.hists = append(r.hists, histSource{prefix: prefix, emit: emit})
+}
+
 // Sources reports how many counter groups and gauges are registered.
 func (r *Registry) Sources() (counters, gauges int) {
 	return len(r.counters), len(r.gauges)
 }
 
+// HistogramSources reports how many histogram groups are registered.
+func (r *Registry) HistogramSources() int { return len(r.hists) }
+
+// Clear disables the registry and drops every registered source. Pool
+// reclamation calls this when a machine is torn down so a recycled
+// engine can never reach emit closures of a dead machine.
+func (r *Registry) Clear() {
+	r.enabled = false
+	r.counters = nil
+	r.gauges = nil
+	r.hists = nil
+}
+
 // Snapshot is one observation of every registered source.
 type Snapshot struct {
-	Counters map[string]uint64  `json:"counters,omitempty"`
-	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot reads every source. On a disabled registry it returns an
@@ -95,6 +129,14 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, g := range r.gauges {
 		s.Gauges[g.name] = g.get()
 	}
+	if len(r.hists) > 0 {
+		s.Histograms = map[string]HistogramSnapshot{}
+		for _, src := range r.hists {
+			src.emit(func(name string, hs HistogramSnapshot) {
+				s.Histograms[src.prefix+"/"+name] = hs
+			})
+		}
+	}
 	return s
 }
 
@@ -108,8 +150,18 @@ func (s Snapshot) Names() []string {
 	return names
 }
 
+// snapNames returns the sorted keys of a histogram-snapshot map.
+func snapNames(m map[string]HistogramSnapshot) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Format renders the snapshot as sorted "name value" lines — counters
-// first, then gauges.
+// first, then gauges, then histogram percentiles.
 func (s Snapshot) Format() string {
 	var b strings.Builder
 	for _, n := range s.Names() {
@@ -122,6 +174,11 @@ func (s Snapshot) Format() string {
 	sort.Strings(gnames)
 	for _, n := range gnames {
 		fmt.Fprintf(&b, "%s %g\n", n, s.Gauges[n])
+	}
+	for _, n := range snapNames(s.Histograms) {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%s count=%d p50=%d p95=%d p99=%d max=%d\n",
+			n, h.Count, h.P50, h.P95, h.P99, h.Max)
 	}
 	return b.String()
 }
