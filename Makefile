@@ -34,6 +34,12 @@ BENCH_FLEET_SET = ^BenchmarkFleetCampaign$$
 # BENCH_obs.json.
 BENCH_OBS_SET = ^(BenchmarkHistogramRecord|BenchmarkTelemetryOverhead|BenchmarkMetricsScrape)$$
 
+# The lint benchmark: the full qcdoclint gate (go list + type-check +
+# every analyzer, tests included) over the whole tree. Pinned in
+# BENCH_lint.json so callgraph-fixpoint or analyzer-cost regressions
+# are visible in review rather than as CI wall time (DESIGN.md §11).
+BENCH_LINT_SET = ^BenchmarkQcdoclintTree$$
+
 .PHONY: check vet lint fuzz build test race bench benchall tables chaos fleet obs
 
 check: vet lint build race fuzz
@@ -41,12 +47,15 @@ check: vet lint build race fuzz
 vet:
 	$(GO) vet ./...
 
-# qcdoclint: the project's own analyzers (simtime, maprange, hotalloc,
-# contsafe, shardsafe, fleetsafe) machine-check the determinism,
-# zero-alloc, continuation-tier, shard-isolation, and no-global-state
-# invariants. DESIGN.md §11.
+# qcdoclint: the project's own analyzers (simtime, detflow, crossalias,
+# hotalloc, contsafe, shardsafe, fleetsafe, obssafe) machine-check the
+# determinism, cross-shard aliasing, zero-alloc, continuation-tier,
+# shard-isolation, no-global-state, and zero-perturbation invariants,
+# interprocedurally through the package call graph. -tests lints
+# in-package _test.go files too, and the waiver lifecycle fails the run
+# on any stale or unknown marker. DESIGN.md §11.
 lint:
-	$(GO) run ./cmd/qcdoclint ./...
+	$(GO) run ./cmd/qcdoclint -tests ./...
 
 # Format fuzzing: Decode/Wire round-trip and single-bit-error detection
 # on the SCU packet codec, and the checkpoint decoder's typed-error /
@@ -74,6 +83,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -meta suite=fleet -o BENCH_fleet.json
 	$(GO) test -run '^$$' -bench '$(BENCH_OBS_SET)' -benchmem -count=5 . \
 		| $(GO) run ./cmd/benchjson -meta suite=obs -o BENCH_obs.json
+	$(GO) test -run '^$$' -bench '$(BENCH_LINT_SET)' -benchmem -benchtime 1x -count=3 . \
+		| $(GO) run ./cmd/benchjson -meta suite=lint -o BENCH_lint.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...

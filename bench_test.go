@@ -15,6 +15,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"qcdoc/internal/analysis/driver"
 	"qcdoc/internal/core"
 	"qcdoc/internal/cost"
 	"qcdoc/internal/event"
@@ -712,4 +713,30 @@ func BenchmarkGlobalSumMachine(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkQcdoclintTree pins the cost of the full static-analysis
+// gate: go-list the tree once, then type-check and run the whole
+// analyzer suite (DESIGN.md §11) over every package, tests included —
+// exactly what `make lint` pays. Tracked in BENCH_lint.json so a
+// regression in the callgraph fixpoint or a new analyzer's cost shows
+// up in review, not in CI wall time.
+func BenchmarkQcdoclintTree(b *testing.B) {
+	pkgs, err := driver.List([]string{"./..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exit := driver.Lint(pkgs, driver.Options{
+			Tests: true,
+			Out:   io.Discard,
+			Err:   io.Discard,
+		})
+		if exit != 0 {
+			b.Fatalf("qcdoclint exit %d: tree is not clean", exit)
+		}
+	}
+	b.ReportMetric(float64(len(pkgs)), "pkgs")
 }

@@ -3,73 +3,49 @@
 // matched by its arguments with the stdlib type checker and applies
 // every registered analyzer:
 //
-//	simtime   — no wall-clock or global math/rand in simulator code
-//	maprange  — no order-sensitive effects inside map iterations
-//	hotalloc  — //qcdoc:noalloc functions contain no allocating constructs
-//	contsafe  — no blocking coroutine APIs on the continuation tier
-//	shardsafe — no machine-wide hardware access from per-shard code
-//	fleetsafe — no package-level mutable state in sim packages
-//	obssafe   — no telemetry registry/histogram writes in HTTP-serving packages
+//	simtime    — no wall-clock or global math/rand in simulator code
+//	detflow    — nondeterminism sources must not reach order-observable
+//	             sinks, tracked through the package call graph
+//	crossalias — values crossing shard boundaries must be deep-value
+//	hotalloc   — //qcdoc:noalloc functions contain no allocating constructs
+//	contsafe   — no blocking coroutine APIs on the continuation tier
+//	shardsafe  — no machine-wide hardware access from per-shard code
+//	fleetsafe  — no package-level mutable state in sim packages
+//	obssafe    — no telemetry registry/histogram writes in HTTP-serving packages
 //
 // Usage:
 //
-//	qcdoclint [packages]     # default ./...
-//	qcdoclint -list          # print the analyzers and exit
+//	qcdoclint [packages]         # default ./...
+//	qcdoclint -tests [packages]  # also lint in-package _test.go files
+//	qcdoclint -json [packages]   # findings as a JSON array
+//	qcdoclint -waivers [packages]# waiver inventory (stale markers fail)
+//	qcdoclint -list              # print the analyzers and exit
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
-// `make lint` runs it over ./... as part of the standard gate.
+// Exit status: 0 clean, 1 diagnostics reported (including stale
+// waivers), 2 operational error. `make lint` runs it over ./... with
+// -tests as part of the standard gate.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
-	"sort"
 
-	"qcdoc/internal/analysis"
-	"qcdoc/internal/analysis/contsafe"
-	"qcdoc/internal/analysis/fleetsafe"
-	"qcdoc/internal/analysis/hotalloc"
-	"qcdoc/internal/analysis/load"
-	"qcdoc/internal/analysis/maprange"
-	"qcdoc/internal/analysis/obssafe"
-	"qcdoc/internal/analysis/shardsafe"
-	"qcdoc/internal/analysis/simtime"
+	"qcdoc/internal/analysis/driver"
 )
-
-// analyzers is the suite, in reporting order.
-var analyzers = []*analysis.Analyzer{
-	simtime.Analyzer,
-	maprange.Analyzer,
-	hotalloc.Analyzer,
-	contsafe.Analyzer,
-	shardsafe.Analyzer,
-	fleetsafe.Analyzer,
-	obssafe.Analyzer,
-}
-
-// listPkg is the subset of `go list -json` the driver needs: where a
-// package lives and which files the current build configuration
-// actually compiles (so build tags and file suffixes are honored
-// without reimplementing them).
-type listPkg struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-}
 
 func main() {
 	listFlag := flag.Bool("list", false, "print the analyzers and exit")
+	testsFlag := flag.Bool("tests", false, "also lint in-package _test.go files")
+	jsonFlag := flag.Bool("json", false, "emit findings (or the waiver inventory) as JSON")
+	waiversFlag := flag.Bool("waivers", false, "print the waiver inventory; stale/unknown markers fail")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qcdoclint [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: qcdoclint [-list] [-tests] [-json] [-waivers] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *listFlag {
-		for _, a := range analyzers {
+		for _, a := range driver.Suite {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
 		return
@@ -78,91 +54,14 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(run(patterns))
-}
-
-func run(patterns []string) int {
-	pkgs, err := goList(patterns)
+	pkgs, err := driver.List(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qcdoclint: %v\n", err)
-		return 2
+		os.Exit(2)
 	}
-	ctx := load.NewContext()
-	exit := 0
-	type finding struct {
-		pos      string
-		line     int
-		msg      string
-		analyzer string
-	}
-	var findings []finding
-	for _, lp := range pkgs {
-		if len(lp.GoFiles) == 0 {
-			continue
-		}
-		p, err := ctx.LoadFiles(lp.Dir, lp.ImportPath, lp.GoFiles)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "qcdoclint: %s: %v\n", lp.ImportPath, err)
-			exit = 2
-			continue
-		}
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      p.Fset,
-				Files:     p.Files,
-				Pkg:       p.Types,
-				TypesInfo: p.Info,
-			}
-			pass.Report = func(d analysis.Diagnostic) {
-				pos := p.Fset.Position(d.Pos)
-				findings = append(findings, finding{
-					pos:      pos.String(),
-					line:     pos.Line,
-					msg:      d.Message,
-					analyzer: a.Name,
-				})
-			}
-			if _, err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "qcdoclint: %s on %s: %v\n", a.Name, lp.ImportPath, err)
-				exit = 2
-			}
-		}
-	}
-	sort.Slice(findings, func(i, j int) bool {
-		if findings[i].pos != findings[j].pos {
-			return findings[i].pos < findings[j].pos
-		}
-		return findings[i].analyzer < findings[j].analyzer
-	})
-	for _, f := range findings {
-		fmt.Printf("%s: %s (%s)\n", f.pos, f.msg, f.analyzer)
-	}
-	if len(findings) > 0 && exit == 0 {
-		exit = 1
-	}
-	return exit
-}
-
-// goList resolves package patterns through the go tool, so qcdoclint
-// sees exactly the files a build would.
-func goList(patterns []string) ([]listPkg, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
-	cmd := exec.Command("go", args...)
-	var out, errb bytes.Buffer
-	cmd.Stdout = &out
-	cmd.Stderr = &errb
-	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
-	}
-	var pkgs []listPkg
-	dec := json.NewDecoder(&out)
-	for dec.More() {
-		var lp listPkg
-		if err := dec.Decode(&lp); err != nil {
-			return nil, fmt.Errorf("decoding go list output: %v", err)
-		}
-		pkgs = append(pkgs, lp)
-	}
-	return pkgs, nil
+	os.Exit(driver.Lint(pkgs, driver.Options{
+		Tests:   *testsFlag,
+		JSON:    *jsonFlag,
+		Waivers: *waiversFlag,
+	}))
 }

@@ -18,6 +18,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"regexp"
 	"strings"
 )
 
@@ -50,7 +51,14 @@ type Pass struct {
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
 
-	markers map[string]map[string]bool // marker text -> "file:line" set
+	// Hits counts, per marker comment position, how many would-be
+	// diagnostics that comment suppressed during this pass. The driver
+	// folds the counts across passes: a marker whose total stays zero is
+	// stale — it waives nothing — and is itself reported (DESIGN.md §11,
+	// waiver lifecycle).
+	Hits map[token.Pos]int
+
+	markers map[string]map[string]token.Pos // marker text -> "file:line" -> comment pos
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -86,7 +94,32 @@ const (
 	// HTTP-serving package is known to run on the simulation side (e.g.
 	// test setup), never from a request handler.
 	MarkerObsOK = "qcdoclint:obs-ok"
+	// MarkerDetflowOK waives detflow: the nondeterministic-order flow is
+	// known not to be order-observable (the sink commutes, or the order
+	// is re-established before anything hashes or schedules off it).
+	MarkerDetflowOK = "qcdoclint:detflow-ok"
+	// MarkerCrossAliasOK waives crossalias: the reference crossing the
+	// shard boundary is, by protocol, owned or serialized on the far
+	// side (e.g. faultplan's barrier-serialized injection closures).
+	MarkerCrossAliasOK = "qcdoclint:crossalias-ok"
 )
+
+// MarkerOwners maps each waiver marker to the analyzer whose
+// diagnostics it suppresses. The driver uses it for the waiver
+// inventory (-waivers) and for stale-waiver detection: a marker in the
+// tree that belongs to no active analyzer, or that suppresses zero
+// diagnostics, is itself a lint finding.
+var MarkerOwners = map[string]string{
+	MarkerUnorderedOK:  "maprange",
+	MarkerAllocOK:      "hotalloc",
+	MarkerBlockingOK:   "contsafe",
+	MarkerWalltimeOK:   "simtime",
+	MarkerShardOK:      "shardsafe",
+	MarkerGlobalOK:     "fleetsafe",
+	MarkerObsOK:        "obssafe",
+	MarkerDetflowOK:    "detflow",
+	MarkerCrossAliasOK: "crossalias",
+}
 
 // NoallocTag is the function annotation hotalloc enforces: a
 // "//qcdoc:noalloc" directive in a function's doc comment declares it
@@ -94,14 +127,16 @@ const (
 const NoallocTag = "qcdoc:noalloc"
 
 // Suppressed reports whether a marker comment covers the line of pos:
-// the marker sits on that line or the line directly above.
+// the marker sits on that line or the line directly above. Each
+// suppression is tallied against the covering comment in p.Hits, so the
+// driver can flag markers that never suppress anything.
 func (p *Pass) Suppressed(marker string, pos token.Pos) bool {
 	if p.markers == nil {
-		p.markers = map[string]map[string]bool{}
+		p.markers = map[string]map[string]token.Pos{}
 	}
 	lines, ok := p.markers[marker]
 	if !ok {
-		lines = map[string]bool{}
+		lines = map[string]token.Pos{}
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
@@ -111,15 +146,50 @@ func (p *Pass) Suppressed(marker string, pos token.Pos) bool {
 					cp := p.Fset.Position(c.Pos())
 					// The marker covers its own line (trailing comment)
 					// and the next line (marker-above style).
-					lines[fmt.Sprintf("%s:%d", cp.Filename, cp.Line)] = true
-					lines[fmt.Sprintf("%s:%d", cp.Filename, cp.Line+1)] = true
+					lines[fmt.Sprintf("%s:%d", cp.Filename, cp.Line)] = c.Pos()
+					lines[fmt.Sprintf("%s:%d", cp.Filename, cp.Line+1)] = c.Pos()
 				}
 			}
 		}
 		p.markers[marker] = lines
 	}
 	dp := p.Fset.Position(pos)
-	return lines[fmt.Sprintf("%s:%d", dp.Filename, dp.Line)]
+	mpos, hit := lines[fmt.Sprintf("%s:%d", dp.Filename, dp.Line)]
+	if hit {
+		if p.Hits == nil {
+			p.Hits = map[token.Pos]int{}
+		}
+		p.Hits[mpos]++
+	}
+	return hit
+}
+
+// A MarkerSite is one waiver-marker comment found in a package's
+// source: the marker text (e.g. "qcdoclint:shard-ok") and the comment's
+// position. The driver inventories these for -waivers and stale-waiver
+// detection.
+type MarkerSite struct {
+	Marker string
+	Pos    token.Pos
+}
+
+var markerRe = regexp.MustCompile(`qcdoclint:[a-z-]+`)
+
+// ScanMarkers lists every qcdoclint waiver marker mentioned in the
+// files' comments, in file order. A comment naming several markers
+// yields one site per marker.
+func ScanMarkers(files []*ast.File) []MarkerSite {
+	var sites []MarkerSite
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range markerRe.FindAllString(c.Text, -1) {
+					sites = append(sites, MarkerSite{Marker: m, Pos: c.Pos()})
+				}
+			}
+		}
+	}
+	return sites
 }
 
 // SuppressedAt reports whether the marker covers either the diagnostic
@@ -134,13 +204,16 @@ func (p *Pass) SuppressedAt(marker string, pos, stmtPos token.Pos) bool {
 
 // HasAnnotation reports whether the function's doc comment carries the
 // given directive (e.g. NoallocTag). Directive comments ("//tool:verb")
-// are excluded from godoc text but remain in the comment group.
+// are excluded from godoc text but remain in the comment group. Per the
+// Go directive convention the comment must start with the tag — prose
+// that merely mentions "//qcdoc:noalloc" is not an annotation.
 func HasAnnotation(fd *ast.FuncDecl, tag string) bool {
 	if fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
-		if strings.Contains(c.Text, "//"+tag) {
+		rest, ok := strings.CutPrefix(c.Text, "//"+tag)
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
 			return true
 		}
 	}
@@ -201,6 +274,41 @@ func namedName(t types.Type) string {
 		default:
 			return ""
 		}
+	}
+}
+
+// DeepValue reports whether a value of type t is safe to copy across a
+// shard boundary: it transitively contains no pointer, slice, map,
+// channel, function, or interface, so the copy cannot alias mutable
+// state the sender retains. This is the crossalias analyzer's core
+// predicate, shared here because fixtures and future analyzers need the
+// same notion.
+func DeepValue(t types.Type) bool {
+	return deepValue(t, map[types.Type]bool{})
+}
+
+func deepValue(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return true // recursion through a named type: judged at its uses
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		// unsafe.Pointer is basic-kinded but is exactly the laundering
+		// primitive crossalias exists to catch.
+		return u.Kind() != types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !deepValue(u.Field(i).Type(), seen) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return deepValue(u.Elem(), seen)
+	default:
+		// Pointer, Slice, Map, Chan, Signature, Interface, Tuple.
+		return false
 	}
 }
 

@@ -1,0 +1,11 @@
+package crossalias
+
+import (
+	"testing"
+
+	"qcdoc/internal/analysis/analysistest"
+)
+
+func TestCrossAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "cross")
+}

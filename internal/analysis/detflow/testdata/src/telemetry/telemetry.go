@@ -1,0 +1,13 @@
+// Package telemetry is a minimal stand-in for qcdoc/internal/telemetry.
+package telemetry
+
+// EmitFunc receives one snapshot row.
+type EmitFunc func(name string, value float64)
+
+// HistEmitFunc receives one histogram row.
+type HistEmitFunc func(name string, snap int)
+
+// Histogram is the mutable sample sink.
+type Histogram struct{}
+
+func (h *Histogram) Record(v uint64) {}

@@ -1,0 +1,5 @@
+// Package testy is clean in its non-test files; the finding lives in
+// testy_test.go, so only a -tests run sees it.
+package testy
+
+func Keys(m map[string]int) int { return len(m) }

@@ -1,0 +1,11 @@
+package testy
+
+import "hash/fnv"
+
+func digestHelper(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k))
+	}
+	return h.Sum64()
+}

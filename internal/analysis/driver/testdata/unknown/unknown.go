@@ -1,0 +1,6 @@
+// Package unknown carries a marker kind no analyzer owns: a typo'd
+// marker must fail the run rather than silently waive nothing.
+package unknown
+
+//qcdoclint:detrflow-ok misspelled analyzer name
+func alsoClean() int { return 7 }

@@ -1,0 +1,15 @@
+// Package waived carries one real detflow finding under a justified
+// waiver: the marker must accrue a suppression hit and the package
+// must lint clean.
+package waived
+
+import "hash/fnv"
+
+func digestAll(m map[string]int) uint64 {
+	h := fnv.New64a()
+	//qcdoclint:detflow-ok fixture: order-insensitive in the scenario this models
+	for k := range m {
+		h.Write([]byte(k))
+	}
+	return h.Sum64()
+}

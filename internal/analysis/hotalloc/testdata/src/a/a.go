@@ -128,3 +128,10 @@ func coldPanicWrapped(v int) int {
 	}
 	return v * 2
 }
+
+// proseMention exercises the //qcdoc:noalloc contract dynamically: the
+// doc comment talks about the directive without carrying it, so the
+// allocations below are fine.
+func proseMention() []int {
+	return append([]int(nil), 1, 2, 3)
+}

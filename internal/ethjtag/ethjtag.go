@@ -248,15 +248,25 @@ func (n *Network) route(pkt Packet) {
 				continue
 			}
 			dst := n.ports[addr]
+			// Clone per destination: every receiver's shard owns its copy
+			// outright. A single shared backing array would let one
+			// receiver's mutation bleed into the others' payloads.
 			cp := pkt
+			cp.Payload = append([]byte(nil), pkt.Payload...)
 			n.eng.CrossAt(dst.eng, arrive, func() { dst.deliver(cp) })
 		}
 		return
 	}
 	dst := n.ports[pkt.Dst]
+	//qcdoclint:crossalias-ok ownership transfer: Send cloned the payload and the duplicate below gets its own clone, so this closure is the packet's sole owner
 	n.eng.CrossAt(dst.eng, arrive, func() { dst.deliver(pkt) })
 	if verdict == FaultDup {
-		n.eng.CrossAt(dst.eng, arrive, func() { dst.deliver(pkt) })
+		// The duplicate needs its own backing array — both deliveries
+		// land on the same port, and a handler mutating the first
+		// arrival's payload must not corrupt the second.
+		dup := pkt
+		dup.Payload = append([]byte(nil), pkt.Payload...)
+		n.eng.CrossAt(dst.eng, arrive, func() { dst.deliver(dup) })
 	}
 }
 

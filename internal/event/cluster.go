@@ -677,7 +677,7 @@ func (e *Engine) CrossAt(dst Scheduler, t Time, fn func()) {
 func (e *Engine) CrossPayload(dst Scheduler, t Time, h PayloadHandler, arg uint64, p Payload) {
 	d, ok := dst.(*Engine)
 	if !ok {
-		panic("event: CrossPayload destination is not an Engine") //qcdoclint:alloc-ok cold error path
+		panic("event: CrossPayload destination is not an Engine")
 	}
 	if d == e || e.cluster == nil {
 		if t < e.now {
@@ -688,12 +688,12 @@ func (e *Engine) CrossPayload(dst Scheduler, t Time, h PayloadHandler, arg uint6
 		return
 	}
 	if d.cluster != e.cluster {
-		panic("event: CrossPayload across unrelated clusters") //qcdoclint:alloc-ok cold error path
+		panic("event: CrossPayload across unrelated clusters")
 	}
 	if t < e.now+e.cluster.look {
 		// A modelled latency below the lookahead would be delivered late
 		// (and only sometimes), so fail loudly instead.
-		panic("event: CrossPayload violates cluster lookahead") //qcdoclint:alloc-ok cold error path
+		panic("event: CrossPayload violates cluster lookahead")
 	}
 	mb := &e.cluster.mail[e.shard][d.shard]
 	mb.msgs = append(mb.msgs, xmsg{at: t, h: h, arg: arg, p: p, flow: e.curFlow})

@@ -223,6 +223,7 @@ func (p *Plan) Arm(eng *event.Engine, m *machine.Machine, net *ethjtag.Network) 
 		fault := *f
 		rank := f.Rank % len(m.Nodes)
 		tgt := m.NodeEngine(rank)
+		//qcdoclint:crossalias-ok fault injection IS cross-shard mutation: the plan, fault record, and machine are owned by the arming engine, which only reads them back after the run drains
 		eng.CrossAt(tgt, base+f.At, func() {
 			if f.Spent {
 				return
@@ -232,6 +233,7 @@ func (p *Plan) Arm(eng *event.Engine, m *machine.Machine, net *ethjtag.Network) 
 			if p.OnFire != nil {
 				ff := fault
 				ff.Rank = rank
+				//qcdoclint:crossalias-ok OnFire crosses back to the arming engine so observer callbacks serialize there; p is handed back to its owner
 				tgt.CrossAt(eng, tgt.Now(), func() { p.OnFire(ff) })
 			}
 		})

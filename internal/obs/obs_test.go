@@ -42,7 +42,7 @@ func TestMetricName(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	var h telemetry.Histogram
 	for v := uint64(1); v <= 100; v++ {
-		h.Record(v * 1000)
+		h.Record(v * 1000) //qcdoclint:obs-ok building a fixture snapshot; no handler is serving yet
 	}
 	snap := telemetry.Snapshot{
 		Counters:   map[string]uint64{"node0/scu/words_sent": 42, "machine/scu/resends": 7},

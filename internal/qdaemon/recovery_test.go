@@ -154,6 +154,7 @@ func runWatchdogScenario(t *testing.T, victim int, at event.Time, kill func(*nod
 		d.StartWatchdog(WatchdogConfig{Period: 500 * event.Microsecond, Misses: 3})
 		eng.After(at, func() {
 			res.killedAt = eng.Now()
+			//qcdoclint:shard-ok chaos harness kills the victim directly; the test machine is single-shard
 			kill(d.M.Nodes[victim])
 		})
 		_, runErr = d.Run(p, "job", "sleeper")
