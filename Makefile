@@ -34,13 +34,20 @@ BENCH_FLEET_SET = ^BenchmarkFleetCampaign$$
 # BENCH_obs.json.
 BENCH_OBS_SET = ^(BenchmarkHistogramRecord|BenchmarkTelemetryOverhead|BenchmarkMetricsScrape)$$
 
+# The chaos-recovery benchmark (DESIGN.md §16): the compound soak
+# scenario end to end — detection, liveness probe, chunk retries,
+# generation fallback, partition shrink, reconvergence — at workers=1
+# and workers=8 with a cross-worker digest check every iteration.
+# Pinned in BENCH_chaos.json.
+BENCH_CHAOS_SET = ^BenchmarkChaosRecovery$$
+
 # The lint benchmark: the full qcdoclint gate (go list + type-check +
 # every analyzer, tests included) over the whole tree. Pinned in
 # BENCH_lint.json so callgraph-fixpoint or analyzer-cost regressions
 # are visible in review rather than as CI wall time (DESIGN.md §11).
 BENCH_LINT_SET = ^BenchmarkQcdoclintTree$$
 
-.PHONY: check vet lint fuzz build test race bench benchall tables chaos fleet obs
+.PHONY: check vet lint fuzz build test race bench benchall tables chaos chaos-storm fleet obs
 
 check: vet lint build race fuzz
 
@@ -58,12 +65,14 @@ lint:
 	$(GO) run ./cmd/qcdoclint -tests ./...
 
 # Format fuzzing: Decode/Wire round-trip and single-bit-error detection
-# on the SCU packet codec, and the checkpoint decoder's typed-error /
-# bounded-allocation contract (what recovery trusts when it restores a
-# possibly-corrupt checkpoint).
+# on the SCU packet codec, and the checkpoint decoder's and generation
+# manifest's typed-error / bounded-allocation contracts (what the
+# recovery ladder trusts when it restores from a possibly-corrupt or
+# torn storage plane).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME) ./internal/scupkt
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz '^FuzzManifestDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 
 build:
 	$(GO) build ./...
@@ -83,6 +92,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -meta suite=fleet -o BENCH_fleet.json
 	$(GO) test -run '^$$' -bench '$(BENCH_OBS_SET)' -benchmem -count=5 . \
 		| $(GO) run ./cmd/benchjson -meta suite=obs -o BENCH_obs.json
+	$(GO) test -run '^$$' -bench '$(BENCH_CHAOS_SET)' -benchmem -benchtime 1x -count=3 . \
+		| $(GO) run ./cmd/benchjson -meta suite=chaos -o BENCH_chaos.json
 	$(GO) test -run '^$$' -bench '$(BENCH_LINT_SET)' -benchmem -benchtime 1x -count=3 . \
 		| $(GO) run ./cmd/benchjson -meta suite=lint -o BENCH_lint.json
 
@@ -103,16 +114,43 @@ chaos:
 	$(GO) run ./cmd/qcdoc chaos -faultseed 16 -repeat 2 -quiet
 	$(GO) run ./cmd/qcdoc chaos -faultseed 23 -repeat 2 -quiet
 	$(GO) run ./cmd/qcdoc chaos -faultseed 16 -repeat 2 -quiet -workers 8
+	$(MAKE) chaos-storm
+
+# Recovery-storm matrix (DESIGN.md §16): compound second-order plans —
+# checkpoint corruption, torn writes, a spurious death report, and a
+# second death landing inside the recovery window. Seeds 1 and 19 must
+# survive by climbing the ladder (chunk retry, generation fallback,
+# partition shrink), twice serially plus once on the 8-worker sharded
+# engine, all three digests bit-identical; -require-fallback and
+# -require-shrink fail the gate if the ladder was not actually
+# exercised. Seed 23 must exhaust retained generations and fail with
+# the typed checkpoint error; the 2x2 run loses both nodes of its last
+# power-of-2 partition and must fail with the typed partition error.
+chaos-storm:
+	$(GO) run ./cmd/qcdoc chaos -soak -faultseed 1 -repeat 2 -quiet \
+		-verify-workers 8 -require-fallback -require-shrink
+	$(GO) run ./cmd/qcdoc chaos -soak -faultseed 19 -repeat 2 -quiet \
+		-verify-workers 8 -require-fallback -require-shrink
+	$(GO) run ./cmd/qcdoc chaos -soak -faultseed 23 -repeat 2 -quiet \
+		-expect-error checkpoint
+	$(GO) run ./cmd/qcdoc chaos -machine 2,2 -faultseed 16 -recovery-crashes 1 \
+		-max-attempts 6 -repeat 2 -quiet -expect-error partition
 
 # Fleet gate: a 32-run chaos campaign — 16 fault seeds x 2 lattices, all
 # 32 machines living in one process, scheduled over 8 campaign workers
 # against a shared pool — then re-run serially with a fresh pool; every
-# run's outcome digest must match bit for bit (DESIGN.md §14).
+# run's outcome digest must match bit for bit (DESIGN.md §14). The
+# second leg is the chaos-storm campaign (DESIGN.md §16): the compound
+# second-order preset across four seeds, where some runs survive by
+# climbing the recovery ladder and some exhaust it with a typed error —
+# both outcomes digest-verified serially.
 fleet:
 	$(GO) run ./cmd/qcdoc fleet -machine 2,2 \
 		-lattices '4,4,4,4;8,4,4,4' \
 		-faultseeds 3,5,7,9,11,13,16,17,19,21,23,27,31,37,41,43 \
 		-workers 8 -verify -quiet
+	$(GO) run ./cmd/qcdoc fleet -machine 2,2,2 -lattices '4,4,4,4' \
+		-storm -faultseeds 1,16,19,23 -workers 8 -verify -quiet
 
 # Observability gate: run an observed solve campaign behind the live
 # /metrics /trace /fleet service, scrape our own endpoints, then re-run

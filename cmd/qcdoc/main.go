@@ -18,6 +18,11 @@
 //	    run a solve under deterministic fault injection: node death,
 //	    watchdog detection, checkpoint restore, re-convergence
 //
+//	qcdoc chaos -soak -faultseed 1 -verify-workers 8 -require-fallback -require-shrink
+//	    compound second-order campaign: checkpoint corruption, torn
+//	    writes, false death reports and faults during recovery, driven
+//	    through the recovery ladder with digest-checked determinism
+//
 //	qcdoc fleet -machine 2,2 -lattices "4,4,4,4;4,4,4,8" -ops wilson,clover -workers 8
 //	    run a campaign: many independent machines in one process,
 //	    sweeping (lattice × operator × fault seed) over a worker pool
@@ -29,6 +34,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -302,7 +308,12 @@ func cmdEstimate(args []string) {
 // cmdChaos runs a distributed Wilson solve under a deterministic fault
 // plan: inject, detect, isolate, restore, converge. With -repeat N the
 // whole run executes N times and the outcome digests must match bit for
-// bit — same -faultseed, same recovery timeline, always.
+// bit — same -faultseed, same recovery timeline, always. -soak adds the
+// compound second-order preset (checkpoint corruption, a spurious death
+// report, a second death during recovery) and attempt headroom for the
+// recovery ladder; -verify-workers re-runs on a sharded engine and
+// requires the identical digest; -expect-error gates scenarios that
+// must exhaust the ladder with a typed error.
 func cmdChaos(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	mshape := fs.String("machine", "2,2,2", "six-dimensional machine shape (comma separated)")
@@ -318,9 +329,22 @@ func cmdChaos(args []string) {
 	bursts := fs.Int("bursts", 1, "link error bursts to draw")
 	drops := fs.Int("drops", 2, "management packets to drop")
 	dups := fs.Int("dups", 1, "management packets to duplicate")
+	soak := fs.Bool("soak", false, "compound preset: +2 chunk corruptions, +1 torn write, +1 false death report, +1 recovery crash, 6 attempts")
+	chunkCorrupts := fs.Int("chunk-corrupts", 0, "checkpoint chunk bit-flips to draw (host storage plane)")
+	chunkTorns := fs.Int("chunk-torns", 0, "torn checkpoint writes to draw (host storage plane)")
+	nfsStalls := fs.Int("nfs-stalls", 0, "NFS stall windows to draw (checkpoint writes delayed)")
+	nfsErrors := fs.Int("nfs-errors", 0, "NFS error windows to draw (checkpoint writes dropped)")
+	falsePositives := fs.Int("false-positives", 0, "spurious death reports to draw (watchdog must probe)")
+	recoveryCrashes := fs.Int("recovery-crashes", 0, "second deaths to draw, scheduled relative to the recovery window")
+	maxAttempts := fs.Int("max-attempts", 0, "restart budget (0 = default; -soak raises it to 6)")
+	generations := fs.Int("generations", 0, "checkpoint generations retained on the host (0 = default 3)")
 	repeat := fs.Int("repeat", 1, "run N times and require identical digests")
 	quiet := fs.Bool("quiet", false, "suppress the per-event narrative")
 	workers := fs.Int("workers", 0, "simulation worker goroutines for the sharded engine (0 = unsharded serial engine)")
+	verifyWorkers := fs.Int("verify-workers", 0, "after the serial runs, re-run with N workers and require the identical digest")
+	requireFallback := fs.Bool("require-fallback", false, "fail unless the run climbed a generation-fallback rung")
+	requireShrink := fs.Bool("require-shrink", false, "fail unless the run climbed a repartition rung")
+	expectError := fs.String("expect-error", "", "require the run to exhaust the ladder with a typed error (partition|checkpoint)")
 	fs.Parse(args)
 
 	cfg := core.ChaosConfig{
@@ -332,15 +356,34 @@ func cmdChaos(args []string) {
 		Tol:             *tol,
 		MaxIter:         *maxIter,
 		CheckpointEvery: *ckptEvery,
+		MaxAttempts:     *maxAttempts,
+		Recovery:        core.RecoveryConfig{Generations: *generations},
 		Spec: faultplan.Spec{
-			From:        2 * event.Millisecond,
-			To:          10 * event.Millisecond,
-			NodeCrashes: *crashes,
-			NodeHangs:   *hangs,
-			LinkBursts:  *bursts,
-			NetDrops:    *drops,
-			NetDups:     *dups,
+			From:                   2 * event.Millisecond,
+			To:                     10 * event.Millisecond,
+			NodeCrashes:            *crashes,
+			NodeHangs:              *hangs,
+			LinkBursts:             *bursts,
+			NetDrops:               *drops,
+			NetDups:                *dups,
+			ChunkCorrupts:          *chunkCorrupts,
+			ChunkTorns:             *chunkTorns,
+			NFSStalls:              *nfsStalls,
+			NFSErrors:              *nfsErrors,
+			WatchdogFalsePositives: *falsePositives,
+			RecoveryCrashes:        *recoveryCrashes,
 		},
+	}
+	if *soak {
+		// Mirror core's soak scenario (TestChaosSoakCompound) so CLI
+		// digests are comparable to the test's.
+		if cfg.MaxAttempts == 0 {
+			cfg.MaxAttempts = 6
+		}
+		cfg.Spec.ChunkCorrupts += 2
+		cfg.Spec.ChunkTorns++
+		cfg.Spec.WatchdogFalsePositives++
+		cfg.Spec.RecoveryCrashes++
 	}
 	if *workers > 0 {
 		cfg.Shards = machine.ShardAuto
@@ -349,29 +392,71 @@ func cmdChaos(args []string) {
 	if !*quiet {
 		cfg.Log = os.Stdout
 	}
+	runOnce := func(cfg core.ChaosConfig) *core.ChaosOutcome {
+		out, err := core.RunChaosWilson(cfg)
+		switch *expectError {
+		case "":
+			fatal(err)
+		case "partition":
+			if !errors.Is(err, core.ErrPartitionExhausted) {
+				fatal(fmt.Errorf("expected ErrPartitionExhausted, got: %w", err))
+			}
+			fmt.Printf("ladder exhausted as required: %v\n", err)
+		case "checkpoint":
+			if !errors.Is(err, core.ErrCheckpointUnrecoverable) {
+				fatal(fmt.Errorf("expected ErrCheckpointUnrecoverable, got: %w", err))
+			}
+			fmt.Printf("ladder exhausted as required: %v\n", err)
+		default:
+			fmt.Fprintf(os.Stderr, "qcdoc chaos: unknown -expect-error %q (want partition|checkpoint)\n", *expectError)
+			os.Exit(2)
+		}
+		for _, a := range out.Attempts {
+			fmt.Printf("attempt: %s\n", a)
+		}
+		for _, r := range out.Rungs {
+			fmt.Printf("ladder:  %s\n", r)
+		}
+		if out.Converged {
+			fmt.Printf("residual %.2g, solution CRC %#x\n", out.RelResidual, out.SolutionCRC)
+		}
+		fmt.Printf("fault plan digest %#x, outcome digest %#x\n", out.PlanDigest, out.Digest)
+		return out
+	}
 	var digests []uint64
+	var last *core.ChaosOutcome
 	for i := 0; i < *repeat; i++ {
 		if *repeat > 1 {
 			fmt.Printf("--- run %d/%d ---\n", i+1, *repeat)
 		}
-		out, err := core.RunChaosWilson(cfg)
-		fatal(err)
-		for _, a := range out.Attempts {
-			fmt.Printf("attempt: %s\n", a)
-		}
-		fmt.Printf("residual %.2g, solution CRC %#x\n", out.RelResidual, out.SolutionCRC)
-		fmt.Printf("fault plan digest %#x, outcome digest %#x\n", out.PlanDigest, out.Digest)
-		digests = append(digests, out.Digest)
+		last = runOnce(cfg)
+		digests = append(digests, last.Digest)
+	}
+	if *verifyWorkers > 0 {
+		fmt.Printf("--- verify: %d workers, sharded engine ---\n", *verifyWorkers)
+		wcfg := cfg
+		wcfg.Shards = machine.ShardAuto
+		wcfg.Workers = *verifyWorkers
+		last = runOnce(wcfg)
+		digests = append(digests, last.Digest)
 	}
 	for _, dg := range digests[1:] {
 		if dg != digests[0] {
-			fmt.Fprintf(os.Stderr, "qcdoc chaos: DIGEST MISMATCH across repeats: %#x vs %#x\n", digests[0], dg)
+			fmt.Fprintf(os.Stderr, "qcdoc chaos: DIGEST MISMATCH across runs: %#x vs %#x\n", digests[0], dg)
 			os.Exit(1)
 		}
 	}
-	if *repeat > 1 {
+	if len(digests) > 1 {
 		fmt.Printf("%d runs, identical outcome digest %#x: recovery timeline is deterministic\n",
-			*repeat, digests[0])
+			len(digests), digests[0])
+	}
+	if *requireFallback && !last.HasRung(core.RungGenerationFallback) {
+		fmt.Fprintln(os.Stderr, "qcdoc chaos: no generation-fallback rung climbed (required)")
+		os.Exit(1)
+	}
+	if *requireShrink && !last.HasRung(core.RungRepartition) {
+		fmt.Fprintln(os.Stderr, "qcdoc chaos: no repartition rung climbed (required)")
+		os.Exit(1)
 	}
 }
 

@@ -107,6 +107,12 @@ func FuzzCheckpointDecode(f *testing.F) {
 		f.Add(s[:16])           // header cut at the kind field
 		f.Add(s[:len(s)/2])     // truncated payload
 		f.Add(s[:len(s)-2])     // truncated CRC trailer
+		f.Add(s[:len(s)-3])     // torn write: cut at a non-word offset
+		// Torn write read back zero-filled to the original length (the
+		// RAID lost power mid-stripe; the tail reads as zeros).
+		torn := append([]byte(nil), s[:len(s)*3/4]...)
+		torn = append(torn, make([]byte, len(s)-len(torn))...)
+		f.Add(torn)
 		corrupt := append([]byte(nil), s...)
 		corrupt[len(corrupt)/2] ^= 0x40
 		f.Add(corrupt)

@@ -1,0 +1,150 @@
+package checkpoint
+
+// The checkpoint-generation manifest: the host-side index of which
+// complete checkpoint generations exist on the RAID, in age order, with
+// a CRC for every member chunk. The recovery ladder (DESIGN.md §16)
+// keeps the newest K generations and uses the manifest to validate a
+// chunk before decoding it; when the newest generation is corrupt or
+// torn it falls back to the next older one. The manifest itself rides
+// the same integrity format as the field checkpoints — magic, version,
+// big-endian payload, CRC-32C trailer — and its decoder keeps the same
+// typed-error and bounded-allocation contract (FuzzManifestDecode).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ManifestMagic identifies a manifest stream ("QCDOCMAN").
+const ManifestMagic = 0x5143444F434D414E
+
+// ManifestVersion of the manifest format.
+const ManifestVersion = 1
+
+// Bounds on a decoded manifest: far beyond any simulated machine here,
+// tight enough that a corrupt-but-plausible header can never force an
+// allocation far larger than the input it came with.
+const (
+	maxGenerations   = 4096
+	maxManifestRanks = 1 << 16
+)
+
+// Generation is one complete checkpoint generation: every rank's chunk
+// of one (attempt, iteration) set, with each chunk's CRC-32C at seal
+// time.
+type Generation struct {
+	// Attempt and Iter identify the set (chunk paths embed both).
+	Attempt int
+	Iter    int
+	// CRCs holds the raw-blob checksum of each rank's chunk, in rank
+	// order; its length is the generation's rank count.
+	CRCs []uint32
+}
+
+// Manifest indexes the retained checkpoint generations, oldest first.
+type Manifest struct {
+	Generations []Generation
+}
+
+// BlobCRC is the raw checksum of a stored chunk blob, as recorded in
+// the manifest at seal time: recovery compares it before paying for a
+// full decode, and a mismatch convicts the chunk without touching the
+// inner format.
+func BlobCRC(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoli)
+}
+
+// WriteManifest serializes a manifest.
+func WriteManifest(w io.Writer, m *Manifest) error {
+	cw := &crcWriter{w: w}
+	hdr := []any{uint64(ManifestMagic), uint32(ManifestVersion), uint32(len(m.Generations))}
+	for _, v := range hdr {
+		if err := binary.Write(cw, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, g := range m.Generations {
+		gh := []any{uint32(g.Attempt), uint32(g.Iter), uint32(len(g.CRCs))}
+		for _, v := range gh {
+			if err := binary.Write(cw, binary.BigEndian, v); err != nil {
+				return err
+			}
+		}
+		for _, crc := range g.CRCs {
+			if err := binary.Write(cw, binary.BigEndian, crc); err != nil {
+				return err
+			}
+		}
+	}
+	return binary.Write(w, binary.BigEndian, cw.crc)
+}
+
+// ReadManifest deserializes a manifest, verifying the CRC. Errors are
+// typed (ErrBadMagic, ErrBadHeader, ErrBadCRC, or an io error from a
+// short read); allocation stays proportional to the input actually
+// consumed, never to a corrupt header's claims.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	cr := &crcReader{r: r}
+	var magic uint64
+	if err := binary.Read(cr, binary.BigEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != ManifestMagic {
+		return nil, ErrBadMagic
+	}
+	var version, count uint32
+	if err := binary.Read(cr, binary.BigEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != ManifestVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported manifest version %d", version)
+	}
+	if err := binary.Read(cr, binary.BigEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > maxGenerations {
+		return nil, fmt.Errorf("%w: implausible generation count %d", ErrBadHeader, count)
+	}
+	m := &Manifest{}
+	for i := uint32(0); i < count; i++ {
+		var attempt, iter, ranks uint32
+		if err := binary.Read(cr, binary.BigEndian, &attempt); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(cr, binary.BigEndian, &iter); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(cr, binary.BigEndian, &ranks); err != nil {
+			return nil, err
+		}
+		if ranks > maxManifestRanks {
+			return nil, fmt.Errorf("%w: implausible rank count %d", ErrBadHeader, ranks)
+		}
+		cap0 := int(ranks)
+		if cap0 > allocChunk {
+			cap0 = allocChunk
+		}
+		crcs := make([]uint32, 0, cap0)
+		for j := uint32(0); j < ranks; j++ {
+			var crc uint32
+			if err := binary.Read(cr, binary.BigEndian, &crc); err != nil {
+				return nil, err
+			}
+			crcs = append(crcs, crc)
+		}
+		m.Generations = append(m.Generations, Generation{
+			Attempt: int(attempt), Iter: int(iter), CRCs: crcs,
+		})
+	}
+	sum := cr.crc
+	var stored uint32
+	if err := binary.Read(r, binary.BigEndian, &stored); err != nil {
+		return nil, err
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("%w: stored %#x computed %#x", ErrBadCRC, stored, sum)
+	}
+	return m, nil
+}

@@ -1,0 +1,161 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// validManifest serializes a small two-generation manifest.
+func validManifest(t testing.TB) []byte {
+	t.Helper()
+	m := &Manifest{Generations: []Generation{
+		{Attempt: 0, Iter: 10, CRCs: []uint32{0xAAAA0001, 0xAAAA0002, 0xAAAA0003, 0xAAAA0004}},
+		{Attempt: 1, Iter: 20, CRCs: []uint32{0xBBBB0001, 0xBBBB0002}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// manifestHeader builds a bare manifest header claiming count
+// generations, with no payload behind it.
+func manifestHeader(count uint32) []byte {
+	var buf bytes.Buffer
+	for _, v := range []any{uint64(ManifestMagic), uint32(ManifestVersion), count} {
+		_ = binary.Write(&buf, binary.BigEndian, v)
+	}
+	return buf.Bytes()
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	for _, m := range []*Manifest{
+		{},
+		{Generations: []Generation{{Attempt: 3, Iter: 140, CRCs: []uint32{1, 2, 3}}}},
+		{Generations: []Generation{
+			{Attempt: 0, Iter: 10, CRCs: []uint32{7}},
+			{Attempt: 0, Iter: 20, CRCs: []uint32{8}},
+			{Attempt: 2, Iter: 30, CRCs: []uint32{9, 10}},
+		}},
+	} {
+		var buf bytes.Buffer
+		if err := WriteManifest(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadManifest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Generations) != len(m.Generations) {
+			t.Fatalf("%d generations, want %d", len(got.Generations), len(m.Generations))
+		}
+		for i, g := range m.Generations {
+			gg := got.Generations[i]
+			if gg.Attempt != g.Attempt || gg.Iter != g.Iter || len(gg.CRCs) != len(g.CRCs) {
+				t.Fatalf("generation %d: %+v, want %+v", i, gg, g)
+			}
+			for j := range g.CRCs {
+				if gg.CRCs[j] != g.CRCs[j] {
+					t.Fatalf("generation %d crc %d differs", i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestManifestDecodeBounds pins the typed-error and bounded-allocation
+// contract: truncations surface as io errors, implausible headers as
+// ErrBadHeader before any header-sized allocation, corruption as
+// ErrBadCRC.
+func TestManifestDecodeBounds(t *testing.T) {
+	full := validManifest(t)
+	for _, cut := range []int{0, 4, 8, 12, 16, 20, len(full) / 2, len(full) - 1, len(full) - 3} {
+		if _, err := ReadManifest(bytes.NewReader(full[:cut])); !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: err = %v, want io truncation error", cut, err)
+		}
+	}
+	// A torn write read back zero-filled to the original length: the
+	// zeros land in the payload/CRC region, so the trailer check fails.
+	torn := append([]byte(nil), full[:len(full)*3/4]...)
+	torn = append(torn, make([]byte, len(full)-len(torn))...)
+	if _, err := ReadManifest(bytes.NewReader(torn)); err == nil {
+		t.Fatal("zero-filled torn manifest decoded cleanly")
+	}
+	// Implausible counts: rejected before allocating what they promise.
+	if _, err := ReadManifest(bytes.NewReader(manifestHeader(maxGenerations + 1))); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("huge generation count: err = %v, want ErrBadHeader", err)
+	}
+	ranks := append(manifestHeader(1), make([]byte, 12)...)
+	binary.BigEndian.PutUint32(ranks[len(ranks)-4:], maxManifestRanks+1)
+	if _, err := ReadManifest(bytes.NewReader(ranks)); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("huge rank count: err = %v, want ErrBadHeader", err)
+	}
+	// A plausible-but-large claim with no payload: fails at the input's
+	// edge, allocation stays proportional to what was actually read.
+	if _, err := ReadManifest(bytes.NewReader(manifestHeader(maxGenerations))); !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("empty-bodied header: err = %v, want io truncation error", err)
+	}
+	// Corruption and bad magic keep their typed errors.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0x10
+	if _, err := ReadManifest(bytes.NewReader(corrupt)); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("corrupt manifest: err = %v, want ErrBadCRC", err)
+	}
+	bad := append([]byte(nil), full...)
+	bad[0] ^= 0xFF
+	if _, err := ReadManifest(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+}
+
+// FuzzManifestDecode drives ReadManifest with arbitrary bytes and holds
+// it to the same contract as the field-checkpoint decoders: no panics,
+// typed errors only, decode->re-encode identity, allocation bounded by
+// the input actually consumed.
+func FuzzManifestDecode(f *testing.F) {
+	s := validManifest(f)
+	f.Add(s)
+	f.Add(s[:7])
+	f.Add(s[:12])
+	f.Add(s[:len(s)/2])
+	f.Add(s[:len(s)-2])
+	f.Add(s[:len(s)-3]) // torn at a non-word offset
+	torn := append([]byte(nil), s[:len(s)*3/4]...)
+	torn = append(torn, make([]byte, len(s)-len(torn))...)
+	f.Add(torn) // torn write read back zero-filled
+	corrupt := append([]byte(nil), s...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Add(manifestHeader(maxGenerations + 1))
+	f.Add(manifestHeader(0xFFFFFFFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadManifest(bytes.NewReader(data))
+		if err == nil {
+			var out bytes.Buffer
+			if werr := WriteManifest(&out, m); werr != nil {
+				t.Fatalf("re-encode of decoded manifest failed: %v", werr)
+			}
+			if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+				t.Fatalf("decode/re-encode changed the stream:\n in  %x\n out %x", data[:out.Len()], out.Bytes())
+			}
+			return
+		}
+		for _, known := range []error{ErrBadMagic, ErrBadCRC, ErrBadHeader,
+			io.EOF, io.ErrUnexpectedEOF} {
+			if errors.Is(err, known) {
+				return
+			}
+		}
+		// The only remaining legal error is the version check.
+		if len(data) >= 12 && binary.BigEndian.Uint32(data[8:12]) != ManifestVersion {
+			return
+		}
+		t.Fatalf("untyped decode error: %v", err)
+	})
+}

@@ -69,6 +69,11 @@ type ChaosConfig struct {
 	Heartbeat event.Time
 	Watchdog  qdaemon.WatchdogConfig
 
+	// Recovery parameterizes the escalation ladder the supervisor climbs
+	// between attempts: checkpoint generations retained, chunk-read retry
+	// policy, RAID read cost (see RecoveryConfig).
+	Recovery RecoveryConfig
+
 	// Spec describes the faults to draw from FaultSeed.
 	Spec faultplan.Spec
 
@@ -112,6 +117,7 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	if c.Heartbeat == 0 {
 		c.Heartbeat = 100 * event.Microsecond
 	}
+	c.Recovery = c.Recovery.withDefaults()
 	return c
 }
 
@@ -147,6 +153,11 @@ type ChaosOutcome struct {
 	// must agree on both bit for bit.
 	PlanDigest uint64
 	Digest     uint64
+	// Rungs is every recovery-ladder action the supervisor climbed —
+	// chunk retries, generation fallbacks, cold starts, repartitions,
+	// rejected death reports, mid-recovery re-detections — each with its
+	// sim-time stamp, all folded into Digest.
+	Rungs []RungRecord
 	// Hists, when ChaosConfig.Telemetry was set, carries the machine
 	// latency distributions merged over every attempt. Deliberately NOT
 	// folded into Digest: the digest must be identical with telemetry
@@ -189,10 +200,20 @@ func RunChaosWilson(cfg ChaosConfig) (*ChaosOutcome, error) {
 
 	// fs is the host RAID storage: the one artifact that survives an
 	// attempt. Checkpoint chunks commit here all-or-nothing (the NFS
-	// shim assembles a file only when every chunk arrived).
+	// shim assembles a file only when every chunk arrived); the
+	// supervisor owns it across attempts.
 	fs := map[string][]byte{}
+	sup := newSupervisor(cfg.Recovery, fs, cfg.Global, logf)
 	nodes := cfg.Shape.Volume()
 	var past []attemptLayout
+	// Every exit path — success or typed ladder exhaustion — reports the
+	// rungs climbed and a digest over them: failing runs must be exactly
+	// as reproducible as converging ones.
+	finish := func(err error) (*ChaosOutcome, error) {
+		out.Rungs = sup.rungs
+		out.Digest = out.computeDigest()
+		return out, err
+	}
 	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
 		shape := cfg.Shape
 		if attempt > 0 {
@@ -200,23 +221,24 @@ func RunChaosWilson(cfg ChaosConfig) (*ChaosOutcome, error) {
 		}
 		lay, err := NewLayout(shape, cfg.Global)
 		if err != nil {
-			return out, err
+			return finish(err)
 		}
-		x0, baseIter := restoreNewest(fs, past, cfg.Global)
-		logf("attempt %d: %d nodes %v, restored iteration %d", attempt, shape.Volume(), shape, baseIter)
+		logf("attempt %d: %d nodes %v", attempt, shape.Volume(), shape)
 
-		att, err := runChaosAttempt(cfg, attempt, shape, lay, plan, gauge, b, x0, baseIter, fs, logf)
+		att, err := runChaosAttempt(cfg, sup, attempt, shape, lay, plan, gauge, b, past, fs, logf)
 		past = append(past, attemptLayout{shape: shape, lay: lay})
 		if err != nil {
-			return out, err
+			return finish(err)
 		}
 		out.Attempts = append(out.Attempts, att.rec)
 		out.Hists = telemetry.MergeHistogramMaps(out.Hists, att.hists)
 		if att.rec.Aborted {
 			nodes = att.healthyPow2
+			sup.stats.Repartitions++
+			sup.rung(attempt, RungRepartition, att.rec.Failure.Rank, nodes, att.rec.EndedAt)
 			logf("attempt %d: %s", attempt, att.rec.Failure)
 			if nodes < 1 {
-				return out, fmt.Errorf("core: no healthy partition left after %s", att.rec.Failure)
+				return finish(fmt.Errorf("%w after %s", ErrPartitionExhausted, att.rec.Failure))
 			}
 			continue
 		}
@@ -225,12 +247,13 @@ func RunChaosWilson(cfg ChaosConfig) (*ChaosOutcome, error) {
 		out.SolutionCRC = checkpoint.FermionCRC(att.solution)
 		break
 	}
-	out.Digest = out.computeDigest()
 	if !out.Converged {
-		return out, fmt.Errorf("core: chaos run did not converge in %d attempts", len(out.Attempts))
+		return finish(fmt.Errorf("core: chaos run did not converge in %d attempts", len(out.Attempts)))
 	}
-	logf("converged: residual %.2g, solution CRC %#x, digest %#x",
-		out.RelResidual, out.SolutionCRC, out.Digest)
+	out.Rungs = sup.rungs
+	out.Digest = out.computeDigest()
+	logf("converged: residual %.2g, solution CRC %#x, digest %#x (%d ladder rungs)",
+		out.RelResidual, out.SolutionCRC, out.Digest, len(out.Rungs))
 	return out, nil
 }
 
@@ -243,11 +266,18 @@ type chaosAttempt struct {
 	hists       map[string]telemetry.HistogramSnapshot
 }
 
-func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
-	plan *faultplan.Plan, gauge *lattice.GaugeField, b, x0 *lattice.FermionField,
-	baseIter int, fs map[string][]byte, logf func(string, ...any)) (chaosAttempt, error) {
+func runChaosAttempt(cfg ChaosConfig, sup *supervisor, attempt int, shape geom.Shape, lay Layout,
+	plan *faultplan.Plan, gauge *lattice.GaugeField, b *lattice.FermionField,
+	past []attemptLayout, fs map[string][]byte, logf func(string, ...any)) (chaosAttempt, error) {
 
 	res := chaosAttempt{}
+	// rst carries the restore's product from the control process to the
+	// node programs: the supervisor writes it (in sim time, before the
+	// launch RPC) and each rank reads it after the launch crosses shards.
+	rst := struct {
+		x0   *lattice.FermionField
+		iter int
+	}{x0: lattice.NewFermionField(cfg.Global)}
 	eng := cfg.Pool.NewEngine()
 	mcfg := machine.DefaultConfig(shape)
 	mcfg.Shards = cfg.Shards
@@ -261,6 +291,7 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 	if cfg.Telemetry {
 		m.EnableTelemetry()
 	}
+	sup.beginAttempt(m.Reg)
 	if err := m.TrainLinks(); err != nil {
 		return res, err
 	}
@@ -280,7 +311,7 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 			dw := NewDistWilson(ctx, comm, dec, localG, cfg.Mass, fermion.Double)
 			ss := DistSpace(ctx, comm, dec, fermion.WilsonKind, fermion.Double)
 			sp := distSpinorSpace(ss)
-			x := ScatterFermion(x0, dec, gc) // warm restart from the restored iterate
+			x := ScatterFermion(rst.x0, dec, gc) // warm restart from the restored iterate
 			k := qos.FromCtx(ctx)
 			ck := solver.Checkpoint[*lattice.FermionField]{
 				Every: cfg.CheckpointEvery,
@@ -294,10 +325,10 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 					peng.MarkSpanBegin("ckpt-chunk")
 					start := ctx.P.Now()
 					var buf bytes.Buffer
-					if err := checkpoint.WriteSolverState(&buf, cur, uint32(baseIter+iter)); err != nil {
+					if err := checkpoint.WriteSolverState(&buf, cur, uint32(rst.iter+iter)); err != nil {
 						panic(err) // bytes.Buffer writes cannot fail
 					}
-					k.WriteFile(ctx.P, chunkName(attempt, baseIter+iter, rank), buf.Bytes())
+					k.WriteFile(ctx.P, chunkName(attempt, rst.iter+iter, rank), buf.Bytes())
 					peng.SetFlow(flow)
 					peng.MarkSpanEnd("ckpt-chunk")
 					peng.SetFlow(prev)
@@ -327,8 +358,33 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 		d.EnableHeartbeats(cfg.Heartbeat)
 		wd := d.StartWatchdog(cfg.Watchdog)
 		wd.OnFailure = func(rec qdaemon.FailureRecord) { logf("attempt %d: watchdog: %s", attempt, rec) }
+		wd.OnFalsePositive = func(rec qdaemon.FalsePositiveRecord) {
+			logf("attempt %d: watchdog: rejected death report on live rank %d at %v", attempt, rec.Rank, rec.At)
+		}
 		plan.OnFire = func(f faultplan.Fault) { logf("attempt %d: inject %s (t=%v)", attempt, f, eng.Now()) }
 		plan.Arm(eng, m, d.Net)
+		plan.ArmHost(eng, len(m.Nodes), &chaosHost{fs: fs, wd: wd})
+		// Restore on the sim clock: the control process pays RAID read
+		// latency and retry backoff before the relaunch, so a fault
+		// landing mid-recovery lands *during* these sleeps.
+		x0, baseIter, rerr := sup.restore(p, attempt, past)
+		if rerr != nil {
+			runErr = rerr
+			return
+		}
+		rst.x0, rst.iter = x0, baseIter
+		logf("attempt %d: restored iteration %d at %v", attempt, baseIter, p.Now())
+		if d.Aborted() != nil {
+			// A second-order fault landed while the partition was still
+			// re-forming: re-enter detection/isolation. The launch below
+			// returns the pending abort without starting the job.
+			rank := -1
+			if n := len(wd.Failures); n > 0 {
+				rank = wd.Failures[n-1].Rank
+			}
+			sup.stats.Redetects++
+			sup.rung(attempt, RungRedetect, rank, 0, p.Now())
+		}
 		_, runErr = d.Run(p, fmt.Sprintf("chaos-a%d", attempt), prog)
 	})
 	if err := eng.RunAll(); err != nil {
@@ -338,9 +394,14 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 		// Capture before the deferred teardown clears the registry.
 		res.hists = m.Reg.Snapshot().Histograms
 	}
+	if wd := d.Watchdog(); wd != nil {
+		for _, fp := range wd.FalsePositives {
+			sup.rung(attempt, RungFalsePositive, fp.Rank, 0, fp.At)
+		}
+	}
 
 	res.rec.Nodes = shape.Volume()
-	res.rec.RestoredIter = baseIter
+	res.rec.RestoredIter = rst.iter
 	res.rec.Iterations = res.met.Iterations
 	res.rec.EndedAt = eng.Now()
 	var abort *qdaemon.AbortError
@@ -361,36 +422,6 @@ func runChaosAttempt(cfg ChaosConfig, attempt int, shape geom.Shape, lay Layout,
 	return res, nil
 }
 
-// restoreNewest reassembles the newest complete checkpoint written by
-// any past attempt: latest attempt first, highest iteration first, and
-// only sets where every rank's chunk is present, CRC-valid, of solver
-// kind, shape-consistent, and stamped with the same iteration. Returns
-// a zero field and iteration 0 when nothing is restorable.
-func restoreNewest(fs map[string][]byte, past []attemptLayout, global lattice.Shape4) (*lattice.FermionField, int) {
-	x0 := lattice.NewFermionField(global)
-	for a := len(past) - 1; a >= 0; a-- {
-		al := past[a]
-		// Collect candidate iterations for this attempt from rank 0's
-		// chunks (a set without rank 0 is incomplete by definition).
-		best := -1
-		for iter := range iterationsOf(fs, a) {
-			if iter > best && completeSet(fs, a, iter, al, nil) {
-				best = iter
-			}
-		}
-		if best < 0 {
-			continue
-		}
-		gather := func(rank int, local *lattice.FermionField) {
-			gc := GridCoord(al.lay.Fold.ToLogical(al.shape.CoordOf(rank)))
-			GatherFermion(x0, al.lay.Dec, gc, local)
-		}
-		completeSet(fs, a, best, al, gather)
-		return x0, best
-	}
-	return x0, 0
-}
-
 // iterationsOf lists the iterations attempt a checkpointed (by rank-0
 // chunk presence).
 func iterationsOf(fs map[string][]byte, a int) map[int]bool {
@@ -405,30 +436,11 @@ func iterationsOf(fs map[string][]byte, a int) map[int]bool {
 	return iters
 }
 
-// completeSet verifies (and optionally gathers) one attempt+iteration
-// checkpoint set.
-func completeSet(fs map[string][]byte, a, iter int, al attemptLayout,
-	gather func(rank int, local *lattice.FermionField)) bool {
-	for rank := 0; rank < al.shape.Volume(); rank++ {
-		blob, ok := fs[chunkName(a, iter, rank)]
-		if !ok {
-			return false
-		}
-		local, it, err := checkpoint.ReadSolverState(bytes.NewReader(blob))
-		if err != nil || int(it) != iter || local.L != al.lay.Dec.Local {
-			return false
-		}
-		if gather != nil {
-			gather(rank, local)
-		}
-	}
-	return true
-}
-
 // computeDigest folds the whole run — attempt structure, failure
-// records with their detection timing, final numerics — into one
-// FNV-1a fingerprint. This is the chaos determinism currency: two runs
-// with the same -faultseed must agree here exactly.
+// records with their detection timing, every recovery-ladder rung,
+// final numerics — into one FNV-1a fingerprint. This is the chaos
+// determinism currency: two runs with the same -faultseed must agree
+// here exactly.
 func (o *ChaosOutcome) computeDigest() uint64 {
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
@@ -457,6 +469,14 @@ func (o *ChaosOutcome) computeDigest() uint64 {
 		mix(uint64(a.Failure.DetectedAt))
 		mix(uint64(a.Failure.DetectLatency))
 		mix(uint64(a.EndedAt))
+	}
+	mix(uint64(len(o.Rungs)))
+	for _, r := range o.Rungs {
+		mix(uint64(r.Attempt))
+		mix(uint64(r.Kind))
+		mix(uint64(int64(r.Rank)))
+		mix(uint64(r.Gen))
+		mix(uint64(r.At))
 	}
 	mix(b(o.Converged))
 	mix(math.Float64bits(o.RelResidual))

@@ -1,13 +1,28 @@
 package core
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 
+	"qcdoc/internal/checkpoint"
 	"qcdoc/internal/event"
 	"qcdoc/internal/faultplan"
 	"qcdoc/internal/geom"
 	"qcdoc/internal/lattice"
+	"qcdoc/internal/machine"
 	"qcdoc/internal/qdaemon"
+	"qcdoc/internal/telemetry"
+)
+
+// chaosSoakSeed and chaosExhaustSeed are fault seeds chosen (and pinned
+// by the assertions below) so the compound scenarios actually exercise
+// the ladder: the soak seed corrupts the generation the second recovery
+// wants, forcing a fallback; the exhaust seed's recovery crash lands on
+// the last surviving board.
+const (
+	chaosSoakSeed    = 1
+	chaosExhaustSeed = 16
 )
 
 // chaosConfig is the E16 scenario: an 8-node machine, a crash drawn to
@@ -98,5 +113,254 @@ func TestChaosWilsonNoFaults(t *testing.T) {
 	}
 	if len(out.Attempts) != 1 || !out.Converged || out.Attempts[0].Aborted {
 		t.Fatalf("clean run: %+v", out.Attempts)
+	}
+}
+
+// soakChaosConfig is the -soak compound scenario: a first-order death
+// plus second-order and storage-plane faults, with attempt headroom for
+// the ladder to climb (mirrored by the qcdoc chaos -soak preset).
+func soakChaosConfig(faultSeed uint64) ChaosConfig {
+	cfg := chaosConfig(faultSeed)
+	cfg.MaxAttempts = 6
+	cfg.Spec.ChunkCorrupts = 2
+	cfg.Spec.ChunkTorns = 1
+	cfg.Spec.WatchdogFalsePositives = 1
+	cfg.Spec.RecoveryCrashes = 1
+	return cfg
+}
+
+func hasRung(out *ChaosOutcome, kind RungKind) bool {
+	for _, r := range out.Rungs {
+		if r.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// The supervisor's restore ladder, unit-tested against a fabricated
+// host FS: newest generation first, chunk retries then generation
+// fallback on corruption, typed exhaustion when every generation is
+// bad, cold start only when nothing was ever sealed.
+func TestSupervisorRestoreLadder(t *testing.T) {
+	global := lattice.Shape4{4, 2, 2, 2}
+	sh := geom.MakeShape(2)
+	lay, err := NewLayout(sh, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := lattice.NewFermionField(global)
+	src.Gaussian(3)
+	fs := map[string][]byte{}
+	writeGen := func(attempt, iter int) {
+		for rank := 0; rank < sh.Volume(); rank++ {
+			gc := GridCoord(lay.Fold.ToLogical(sh.CoordOf(rank)))
+			local := ScatterFermion(src, lay.Dec, gc)
+			var buf bytes.Buffer
+			if err := checkpoint.WriteSolverState(&buf, local, uint32(iter)); err != nil {
+				t.Fatal(err)
+			}
+			fs[chunkName(attempt, iter, rank)] = buf.Bytes()
+		}
+	}
+	logf := func(string, ...any) {}
+	past := []attemptLayout{{shape: sh, lay: lay}}
+	restore := func(sup *supervisor) (int, error) {
+		var iter int
+		var rerr error
+		eng := event.New()
+		sup.beginAttempt(telemetry.New())
+		eng.Spawn("restore", func(p *event.Proc) {
+			_, iter, rerr = sup.restore(p, 1, past)
+		})
+		if err := eng.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Shutdown()
+		return iter, rerr
+	}
+
+	// Two clean generations: restore picks the newest.
+	writeGen(0, 10)
+	writeGen(0, 20)
+	sup := newSupervisor(RecoveryConfig{}, fs, global, logf)
+	iter, rerr := restore(sup)
+	if rerr != nil || iter != 20 {
+		t.Fatalf("clean restore: iter %d err %v, want 20", iter, rerr)
+	}
+	if len(sup.rungs) != 0 {
+		t.Fatalf("clean restore climbed rungs: %v", sup.rungs)
+	}
+
+	// Corrupt the newest generation after sealing: the manifest CRC
+	// convicts it, retries burn out, restore falls back one generation.
+	fs[chunkName(0, 20, 0)][100] ^= 0x04
+	iter, rerr = restore(sup)
+	if rerr != nil || iter != 10 {
+		t.Fatalf("fallback restore: iter %d err %v, want 10", iter, rerr)
+	}
+	if sup.stats.ChunkRetries == 0 || sup.stats.GenerationFallbacks != 1 {
+		t.Fatalf("ladder stats %+v, want retries and exactly one fallback", sup.stats)
+	}
+	hasRetry, hasFallback := false, false
+	for _, r := range sup.rungs {
+		hasRetry = hasRetry || r.Kind == RungChunkRetry
+		hasFallback = hasFallback || r.Kind == RungGenerationFallback
+	}
+	if !hasRetry || !hasFallback {
+		t.Fatalf("rungs %v, want chunk-retry and generation-fallback", sup.rungs)
+	}
+
+	// Tear the older generation too: every retained generation is bad
+	// and the ladder ends in the typed error, not a silent cold start.
+	fs[chunkName(0, 10, 1)] = fs[chunkName(0, 10, 1)][:13]
+	if _, rerr = restore(sup); !errors.Is(rerr, ErrCheckpointUnrecoverable) {
+		t.Fatalf("exhausted ladder returned %v, want ErrCheckpointUnrecoverable", rerr)
+	}
+
+	// Nothing ever sealed: cold start at iteration 0 is the legal floor.
+	cold := newSupervisor(RecoveryConfig{}, map[string][]byte{}, global, logf)
+	iter, rerr = restore(cold)
+	if rerr != nil || iter != 0 {
+		t.Fatalf("cold start: iter %d err %v", iter, rerr)
+	}
+	if !hasRung(&ChaosOutcome{Rungs: cold.rungs}, RungColdStart) {
+		t.Fatalf("cold start not recorded: %v", cold.rungs)
+	}
+}
+
+// The host-plane fault surface: chunk strikes hit the newest chunk of
+// the victim rank, misses report false.
+func TestChaosHostChunkFaults(t *testing.T) {
+	fs := map[string][]byte{
+		chunkName(0, 10, 0): bytes.Repeat([]byte{0xAA}, 64),
+		chunkName(0, 20, 0): bytes.Repeat([]byte{0xBB}, 64),
+		chunkName(1, 5, 1):  bytes.Repeat([]byte{0xCC}, 64),
+	}
+	h := &chaosHost{fs: fs}
+	if got := newestChunk(fs, 0); got != chunkName(0, 20, 0) {
+		t.Fatalf("newest chunk of rank 0: %q", got)
+	}
+	if got := newestChunk(fs, 1); got != chunkName(1, 5, 1) {
+		t.Fatalf("newest chunk of rank 1: %q", got)
+	}
+	if !h.CorruptChunk(0, 77) {
+		t.Fatal("corrupt strike missed an existing chunk")
+	}
+	if bytes.Equal(fs[chunkName(0, 20, 0)], bytes.Repeat([]byte{0xBB}, 64)) {
+		t.Fatal("corrupt strike left the newest chunk untouched")
+	}
+	if len(fs[chunkName(0, 20, 0)]) != 64 {
+		t.Fatal("corrupt strike changed the chunk length")
+	}
+	if !h.TearChunk(1, 200) {
+		t.Fatal("tear strike missed an existing chunk")
+	}
+	if n := len(fs[chunkName(1, 5, 1)]); n >= 64 || n < 1 {
+		t.Fatalf("torn chunk length %d, want in [1,63]", n)
+	}
+	if h.CorruptChunk(5, 1) || h.TearChunk(5, 1) {
+		t.Fatal("strike on a rank with no chunks reported a hit")
+	}
+}
+
+// The compound soak scenario: first-order death, storage corruption,
+// a spurious death report, and a second death during recovery. The run
+// must survive by climbing the ladder — and two runs, serial and
+// 8-worker, must agree on every rung to the picosecond.
+func TestChaosSoakCompound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak run")
+	}
+	run := func(workers int) *ChaosOutcome {
+		cfg := soakChaosConfig(chaosSoakSeed)
+		if workers > 0 {
+			cfg.Shards = machine.ShardAuto
+			cfg.Workers = workers
+		}
+		out, err := RunChaosWilson(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v\nrungs: %v", workers, err, out.Rungs)
+		}
+		return out
+	}
+	o1 := run(0)
+	o2 := run(0)
+	o8 := run(8)
+
+	if !o1.Converged {
+		t.Fatal("soak run did not converge")
+	}
+	if len(o1.Attempts) < 3 {
+		t.Fatalf("%d attempts, want at least 3 (two deaths)", len(o1.Attempts))
+	}
+	first, last := o1.Attempts[0], o1.Attempts[len(o1.Attempts)-1]
+	if last.Nodes >= first.Nodes/2 {
+		t.Fatalf("no cumulative shrink: %d -> %d nodes", first.Nodes, last.Nodes)
+	}
+	if !hasRung(o1, RungRepartition) {
+		t.Fatalf("no repartition rung: %v", o1.Rungs)
+	}
+	if !hasRung(o1, RungGenerationFallback) {
+		t.Fatalf("no generation fallback climbed: %v", o1.Rungs)
+	}
+	if !hasRung(o1, RungFalsePositive) {
+		t.Fatalf("no false positive rejected: %v", o1.Rungs)
+	}
+	if o1.Digest != o2.Digest {
+		t.Fatalf("soak digests diverged across runs: %#x vs %#x", o1.Digest, o2.Digest)
+	}
+	if o1.Digest != o8.Digest {
+		t.Fatalf("soak digest not worker-invariant: serial %#x vs 8 workers %#x\nserial rungs: %v\nworker rungs: %v",
+			o1.Digest, o8.Digest, o1.Rungs, o8.Rungs)
+	}
+
+	// A fully observed run must surface the supervisor's ladder
+	// histograms in the merged telemetry — and must not perturb the
+	// digest by a bit (the zero-perturbation contract, DESIGN.md §15).
+	cfgT := soakChaosConfig(chaosSoakSeed)
+	cfgT.Telemetry = true
+	oT, err := RunChaosWilson(cfgT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oT.Digest != o1.Digest {
+		t.Fatalf("telemetry perturbed the soak digest: dark %#x vs observed %#x", o1.Digest, oT.Digest)
+	}
+	if h, ok := oT.Hists["recovery/backoff_wait_ps"]; !ok || h.Count == 0 {
+		t.Fatalf("no backoff waits in merged telemetry: %v", oT.Hists["recovery/backoff_wait_ps"])
+	}
+	if h, ok := oT.Hists["recovery/generation_fallback_depth"]; !ok || h.Count == 0 {
+		t.Fatalf("no fallback depths in merged telemetry: %v", oT.Hists["recovery/generation_fallback_depth"])
+	}
+}
+
+// Exhausting the partition: a 4-node machine loses a board, recovers on
+// 2 nodes, loses the last board to a recovery crash — the ladder ends
+// in ErrPartitionExhausted, typed, deterministic, never a hang.
+func TestChaosPartitionExhausted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run")
+	}
+	run := func() (*ChaosOutcome, error) {
+		cfg := chaosConfig(chaosExhaustSeed)
+		cfg.Shape = geom.MakeShape(2, 2)
+		cfg.MaxAttempts = 6
+		cfg.Spec.RecoveryCrashes = 1
+		return RunChaosWilson(cfg)
+	}
+	o1, err1 := run()
+	o2, err2 := run()
+	if !errors.Is(err1, ErrPartitionExhausted) {
+		t.Fatalf("exhausted run returned %v, want ErrPartitionExhausted\nrungs: %v", err1, o1.Rungs)
+	}
+	if o1.Converged {
+		t.Fatal("exhausted run claims convergence")
+	}
+	if n := len(o1.Attempts); n < 2 {
+		t.Fatalf("%d attempts before exhaustion, want at least 2", n)
+	}
+	if o1.Digest == 0 || o1.Digest != o2.Digest {
+		t.Fatalf("failing runs must stay deterministic: %#x vs %#x (err2 %v)", o1.Digest, o2.Digest, err2)
 	}
 }

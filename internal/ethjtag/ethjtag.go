@@ -73,6 +73,10 @@ const (
 	// FaultDup delivers the packet twice — the hub-retransmit glitch
 	// that makes at-least-once protocols earn their dedup logic.
 	FaultDup
+	// FaultStall delays delivery by the network's Stall latency on top
+	// of the normal switch traversal — a congested or degraded host-side
+	// path (the NFS server fighting the RAID for its disks, §3.2/§4).
+	FaultStall
 )
 
 // FaultFunc inspects a packet at launch (after serialization timing is
@@ -101,16 +105,27 @@ type Network struct {
 	Dropped uint64 // packets to unknown destinations (updated atomically)
 
 	// Fault, when set, judges every packet entering the switch; see
-	// FaultFunc. Drop and duplication counts are kept for telemetry.
+	// FaultFunc. Drop, duplication, and stall counts are kept for
+	// telemetry.
 	Fault           FaultFunc
 	FaultDropped    uint64
 	FaultDuplicated uint64
+	FaultStalled    uint64
+	// Stall is the extra delivery delay a FaultStall verdict adds. Only
+	// the fault injector consults it; zero with a verdict of FaultStall
+	// degrades to normal delivery.
+	Stall event.Time
 }
 
 // NewNetwork creates the management network.
 func NewNetwork(eng *event.Engine) *Network {
 	return &Network{eng: eng, ports: map[Addr]*Port{}, Latency: 10 * event.Microsecond}
 }
+
+// Now is the switch's simulation clock — fault injectors windowing on
+// sim time read it from inside the Fault hook, where they already run
+// serially on the switch's shard.
+func (n *Network) Now() event.Time { return n.eng.Now() }
 
 // Port is one endpoint. All of its state — serializer, queues, pend
 // ring, counters — belongs to the shard engine it was attached on.
@@ -238,6 +253,13 @@ func (n *Network) route(pkt Packet) {
 		n.FaultDuplicated++
 	}
 	arrive := n.eng.Now() + n.Latency
+	if verdict == FaultStall {
+		// The frame is held in the degraded path and delivered late;
+		// adding delay keeps the cross-shard hop above the lookahead
+		// bound (the normal arrival already exceeds it).
+		n.FaultStalled++
+		arrive += n.Stall
+	}
 	if pkt.Dst == Broadcast {
 		// Fan out in address order, not map order: delivery events at
 		// equal times dispatch in scheduling order, so a map-ordered

@@ -50,6 +50,31 @@ const (
 	// NetDup delivers one management-Ethernet request twice; idempotence
 	// checks and stale-reply discard absorb it.
 	NetDup
+	// ChunkCorrupt flips one bit in a stored checkpoint chunk on the
+	// host FS — silent RAID corruption. The recovery ladder's CRC
+	// validation catches it and falls back a checkpoint generation.
+	ChunkCorrupt
+	// ChunkTorn truncates a stored checkpoint chunk — a torn write (the
+	// host lost power mid-stripe). Decodes as a short read; same
+	// generation-fallback rung as ChunkCorrupt.
+	ChunkTorn
+	// NFSStall delays every NFS-shim packet for a bounded window — the
+	// host RAID path congested. Checkpoint writes land late but intact.
+	NFSStall
+	// NFSError drops every NFS-shim packet for a bounded window — the
+	// host FS erroring out. Files written in the window never commit
+	// (the shim assembles all-or-nothing), so those generations simply
+	// do not exist.
+	NFSError
+	// WatchdogFalsePositive injects a spurious death report for a live
+	// node. The watchdog must probe the node over JTAG before isolating
+	// it; a live node survives the report.
+	WatchdogFalsePositive
+	// RecoveryCrash kills a second node, scheduled relative to the
+	// first recovery's repartition window: it arms only from the second
+	// Arm of the plan onward (attempt >= 1), so it lands during or
+	// after the restore that follows the first death.
+	RecoveryCrash
 )
 
 func (k Kind) String() string {
@@ -66,6 +91,18 @@ func (k Kind) String() string {
 		return "net-drop"
 	case NetDup:
 		return "net-dup"
+	case ChunkCorrupt:
+		return "chunk-corrupt"
+	case ChunkTorn:
+		return "chunk-torn"
+	case NFSStall:
+		return "nfs-stall"
+	case NFSError:
+		return "nfs-error"
+	case WatchdogFalsePositive:
+		return "watchdog-false-positive"
+	case RecoveryCrash:
+		return "recovery-crash"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -86,7 +123,8 @@ type Fault struct {
 	// Every is a LinkBurst's corruption stride (every Every-th frame).
 	Every uint64
 	// Nth selects the Nth management request sent after Arm (NetDrop,
-	// NetDup).
+	// NetDup), or the victim bit/byte inside a stored chunk
+	// (ChunkCorrupt, ChunkTorn).
 	Nth uint64
 	// Spent marks a fault that has fired. A restarted attempt re-arms
 	// the same plan; spent faults stay down, so a node dies once, not
@@ -103,6 +141,10 @@ func (f Fault) String() string {
 	case LinkBurst:
 		return fmt.Sprintf("%s node %d %v at %v for %v (every %d frames)",
 			f.Kind, f.Rank, f.Link, f.At, f.Dur, f.Every)
+	case ChunkCorrupt, ChunkTorn:
+		return fmt.Sprintf("%s rank %d chunk at %v (sel %d)", f.Kind, f.Rank, f.At, f.Nth)
+	case NFSStall, NFSError:
+		return fmt.Sprintf("%s at %v for %v", f.Kind, f.At, f.Dur)
 	}
 	return fmt.Sprintf("%s node %d at %v", f.Kind, f.Rank, f.At)
 }
@@ -119,6 +161,14 @@ type Spec struct {
 	NetDrops    int
 	NetDups     int
 
+	// Second-order and storage-plane fault counts (DESIGN.md §16).
+	ChunkCorrupts          int
+	ChunkTorns             int
+	NFSStalls              int
+	NFSErrors              int
+	WatchdogFalsePositives int
+	RecoveryCrashes        int
+
 	// BurstDur and BurstEvery parameterize LinkBursts; zero values take
 	// 50 us and every 13th frame.
 	BurstDur   event.Time
@@ -127,6 +177,17 @@ type Spec struct {
 	// (they hit one of the first NetSpan management requests after Arm;
 	// zero takes 400, early enough to land in boot/launch traffic).
 	NetSpan uint64
+
+	// RecoveryFrom/RecoveryTo bound RecoveryCrash injection times,
+	// relative to the re-Arm of a recovered attempt (so relative to the
+	// repartition window); zero values take 100 us .. 5 ms, which covers
+	// restore, relaunch, and the early solve.
+	RecoveryFrom, RecoveryTo event.Time
+	// NFSWindow is the duration of each NFSStall/NFSError window; zero
+	// takes 1.5 ms. NFSStallLatency is the extra per-packet delivery
+	// delay inside a stall window; zero takes 200 us.
+	NFSWindow       event.Time
+	NFSStallLatency event.Time
 }
 
 func (s Spec) withDefaults() Spec {
@@ -142,6 +203,16 @@ func (s Spec) withDefaults() Spec {
 	if s.NetSpan == 0 {
 		s.NetSpan = 400
 	}
+	if s.RecoveryTo <= s.RecoveryFrom {
+		s.RecoveryFrom = 100 * event.Microsecond
+		s.RecoveryTo = 5 * event.Millisecond
+	}
+	if s.NFSWindow <= 0 {
+		s.NFSWindow = 1500 * event.Microsecond
+	}
+	if s.NFSStallLatency <= 0 {
+		s.NFSStallLatency = 200 * event.Microsecond
+	}
 	return s
 }
 
@@ -151,6 +222,21 @@ type Plan struct {
 	Faults []Fault
 	// OnFire, when set, observes each fault as it is injected.
 	OnFire func(Fault)
+
+	// StallLatency is the delivery delay an NFSStall window imposes
+	// (copied from the generating Spec).
+	StallLatency event.Time
+
+	// armedOn/armedHostOn remember the engine of the current attempt's
+	// Arm/ArmHost: re-arming on the same engine is a no-op, so a
+	// recovery that is itself interrupted and retried cannot schedule
+	// the surviving faults twice (or reset the counted net-fault
+	// stream). A fresh engine — the next attempt's — re-arms normally.
+	armedOn     *event.Engine
+	armedHostOn *event.Engine
+	// arms counts distinct Arm calls (attempts). RecoveryCrash faults
+	// arm only from the second attempt onward.
+	arms int
 }
 
 // Generate derives the fault schedule for the given seed: same seed,
@@ -185,6 +271,30 @@ func Generate(seed uint64, spec Spec, nodes int) *Plan {
 	for i := 0; i < spec.NetDups; i++ {
 		p.Faults = append(p.Faults, Fault{Kind: NetDup, Nth: 1 + s.Uint64()%spec.NetSpan})
 	}
+	// Second-order/storage kinds draw after every first-order kind, each
+	// kind a fixed number of draws: a spec that adds them reproduces the
+	// first-order schedule of the spec without them, bit for bit.
+	for i := 0; i < spec.ChunkCorrupts; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: ChunkCorrupt, At: drawAt(), Rank: drawRank(), Nth: s.Uint64()})
+	}
+	for i := 0; i < spec.ChunkTorns; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: ChunkTorn, At: drawAt(), Rank: drawRank(), Nth: s.Uint64()})
+	}
+	for i := 0; i < spec.NFSStalls; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: NFSStall, At: drawAt(), Dur: spec.NFSWindow})
+	}
+	for i := 0; i < spec.NFSErrors; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: NFSError, At: drawAt(), Dur: spec.NFSWindow})
+	}
+	for i := 0; i < spec.WatchdogFalsePositives; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: WatchdogFalsePositive, At: drawAt(), Rank: drawRank()})
+	}
+	recSpan := uint64(spec.RecoveryTo - spec.RecoveryFrom)
+	for i := 0; i < spec.RecoveryCrashes; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: RecoveryCrash,
+			At: spec.RecoveryFrom + event.Time(s.Uint64()%recSpan), Rank: drawRank()})
+	}
+	p.StallLatency = spec.NFSStallLatency
 	return p
 }
 
@@ -207,7 +317,17 @@ func Generate(seed uint64, spec Spec, nodes int) *Plan {
 // (CrossAt degrades to a plain At on an unsharded build); the OnFire
 // observation crosses back so every observer callback runs serially on
 // the arming engine, whatever shard the fault struck.
+//
+// Arm is idempotent per attempt: a second call with the same engine —
+// a recovery that was itself interrupted and re-entered — is a no-op,
+// so surviving faults are never scheduled twice and the counted
+// net-fault stream keeps its position. A fresh engine re-arms.
 func (p *Plan) Arm(eng *event.Engine, m *machine.Machine, net *ethjtag.Network) {
+	if p.armedOn == eng {
+		return
+	}
+	p.armedOn = eng
+	p.arms++
 	base := eng.Now()
 	for i := range p.Faults {
 		f := &p.Faults[i]
@@ -215,8 +335,17 @@ func (p *Plan) Arm(eng *event.Engine, m *machine.Machine, net *ethjtag.Network) 
 			continue
 		}
 		switch f.Kind {
-		case NetDrop, NetDup:
+		case NetDrop, NetDup, NFSStall, NFSError:
 			continue // handled by the composite hook below
+		case ChunkCorrupt, ChunkTorn, WatchdogFalsePositive:
+			continue // host-plane faults: see ArmHost
+		case RecoveryCrash:
+			// A second-order death: scheduled relative to the recovery
+			// that follows the first one, so it stays down until the
+			// plan is re-armed on a recovered machine.
+			if p.arms < 2 {
+				continue
+			}
 		}
 		// Clamp the victim rank to the (possibly smaller, repartitioned)
 		// machine before picking its shard.
@@ -238,7 +367,74 @@ func (p *Plan) Arm(eng *event.Engine, m *machine.Machine, net *ethjtag.Network) 
 			}
 		})
 	}
-	p.armNetFaults(net)
+	p.armNetFaults(eng, base, net)
+}
+
+// Host is the storage/operator plane of the machine's host: the
+// surfaces the host-side faults strike. The chaos driver implements it
+// over the qdaemon's FS map and watchdog; each method runs on the
+// arming (host) engine at the fault's scheduled time.
+type Host interface {
+	// CorruptChunk flips one bit, selected by sel, in the newest stored
+	// checkpoint chunk belonging to rank, reporting whether such a
+	// chunk existed (a miss leaves the fault unspent, to retry on the
+	// next attempt once a chunk has been written).
+	CorruptChunk(rank int, sel uint64) bool
+	// TearChunk truncates the newest stored chunk belonging to rank at
+	// an offset selected by sel, reporting whether a chunk existed.
+	TearChunk(rank int, sel uint64) bool
+	// SuspectNode files a spurious death report for rank with the
+	// watchdog (which must probe before isolating).
+	SuspectNode(rank int)
+}
+
+// ArmHost schedules the host-plane faults (ChunkCorrupt, ChunkTorn,
+// WatchdogFalsePositive) against the given host surface on the arming
+// engine — the shard the host FS and watchdog live on. Call it after
+// Arm, once per attempt; like Arm it is idempotent per engine. Chunk
+// faults that find no chunk to strike stay unspent and replay on the
+// next attempt.
+func (p *Plan) ArmHost(eng *event.Engine, nodes int, h Host) {
+	if h == nil || p.armedHostOn == eng {
+		return
+	}
+	p.armedHostOn = eng
+	base := eng.Now()
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if f.Spent {
+			continue
+		}
+		switch f.Kind {
+		case ChunkCorrupt, ChunkTorn, WatchdogFalsePositive:
+		default:
+			continue
+		}
+		rank := f.Rank % nodes
+		eng.At(base+f.At, func() {
+			if f.Spent {
+				return
+			}
+			switch f.Kind {
+			case ChunkCorrupt:
+				if !h.CorruptChunk(rank, f.Nth) {
+					return
+				}
+			case ChunkTorn:
+				if !h.TearChunk(rank, f.Nth) {
+					return
+				}
+			case WatchdogFalsePositive:
+				h.SuspectNode(rank)
+			}
+			f.Spent = true
+			if p.OnFire != nil {
+				ff := *f
+				ff.Rank = rank
+				p.OnFire(ff)
+			}
+		})
+	}
 }
 
 // inject applies one node/link fault to the machine. eng is the
@@ -246,7 +442,7 @@ func (p *Plan) Arm(eng *event.Engine, m *machine.Machine, net *ethjtag.Network) 
 // wire's transmit state does.
 func (p *Plan) inject(eng *event.Engine, m *machine.Machine, rank int, f Fault) {
 	switch f.Kind {
-	case NodeCrash:
+	case NodeCrash, RecoveryCrash:
 		m.Nodes[rank].Crash()
 	case NodeHang:
 		m.Nodes[rank].Hang()
@@ -260,24 +456,63 @@ func (p *Plan) inject(eng *event.Engine, m *machine.Machine, rank int, f Fault) 
 }
 
 // armNetFaults installs one composite management-network fault hook
-// covering every unspent NetDrop/NetDup rule.
-func (p *Plan) armNetFaults(net *ethjtag.Network) {
+// covering every unspent NetDrop/NetDup rule plus the NFS-plane
+// windows (NFSStall/NFSError). The counted drop/dup stream judges only
+// host-to-node requests; NFS windows judge only NFS-shim packets
+// (which travel node-to-host), so the two rule sets never interact.
+func (p *Plan) armNetFaults(eng *event.Engine, base event.Time, net *ethjtag.Network) {
 	if net == nil {
 		return // no management network attached (bare-machine runs)
 	}
-	var rules []*Fault
+	var rules, windows []*Fault
 	for i := range p.Faults {
 		f := &p.Faults[i]
-		if (f.Kind == NetDrop || f.Kind == NetDup) && !f.Spent {
+		if f.Spent {
+			continue
+		}
+		switch f.Kind {
+		case NetDrop, NetDup:
 			rules = append(rules, f)
+		case NFSStall, NFSError:
+			windows = append(windows, f)
 		}
 	}
-	if len(rules) == 0 {
+	if len(rules) == 0 && len(windows) == 0 {
 		net.Fault = nil
 		return
 	}
+	net.Stall = p.StallLatency
+	for _, w := range windows {
+		w := w
+		// The window announces itself at its opening edge and marks
+		// itself spent at its closing edge; an attempt that ends before
+		// the close replays the whole window on the next Arm (the spent
+		// timer dies with the attempt's engine). The hook below only
+		// judges packets strictly inside the open window.
+		if p.OnFire != nil {
+			eng.At(base+w.At, func() {
+				if !w.Spent && p.OnFire != nil {
+					p.OnFire(*w)
+				}
+			})
+		}
+		eng.At(base+w.At+w.Dur, func() { w.Spent = true })
+	}
 	var sent uint64
 	net.Fault = func(pkt *ethjtag.Packet) ethjtag.FaultVerdict {
+		if pkt.Port == ethjtag.PortNFS {
+			now := net.Now()
+			for _, w := range windows {
+				if w.Spent || now < base+w.At || now >= base+w.At+w.Dur {
+					continue
+				}
+				if w.Kind == NFSError {
+					return ethjtag.FaultDrop
+				}
+				return ethjtag.FaultStall
+			}
+			return ethjtag.FaultNone
+		}
 		if pkt.Dst < ethjtag.NodeAddrBase {
 			return ethjtag.FaultNone // node-to-host report: out of scope
 		}

@@ -67,6 +67,9 @@ type Spec struct {
 	FaultSeed       uint64
 	Faults          faultplan.Spec
 	CheckpointEvery int
+	// MaxAttempts bounds chaos restarts (0 = the chaos default); storm
+	// campaigns raise it so compound plans have ladder headroom.
+	MaxAttempts int
 }
 
 // Result is the outcome of one run. Digest is the determinism
@@ -272,6 +275,7 @@ func runChaos(s Spec, cfg Config) Result {
 		Tol:             s.Tol,
 		MaxIter:         s.MaxIter,
 		CheckpointEvery: s.CheckpointEvery,
+		MaxAttempts:     s.MaxAttempts,
 		Spec:            s.Faults,
 		Shards:          s.Shards,
 		Workers:         s.Workers,

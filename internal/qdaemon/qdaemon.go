@@ -382,8 +382,14 @@ func (d *Daemon) Run(p *event.Proc, job, program string) ([]string, error) {
 	if !d.booted {
 		return nil, fmt.Errorf("qdaemon: machine not booted")
 	}
+	if d.abortErr != nil {
+		// A death was detected between jobs — during a recovery's
+		// restore, say. It must surface here, not be silently swallowed
+		// by the launch; takeAbort consumes it so the operator's next
+		// job (on the now-isolated partition) starts clean.
+		return nil, d.takeAbort()
+	}
 	d.activeJob = job
-	d.abortErr = nil
 	ranks := d.Part.HealthyRanks()
 	launch := func(r int) error {
 		return d.Ctl.Send(ethjtag.Packet{
@@ -447,25 +453,40 @@ func (d *Daemon) Run(p *event.Proc, job, program string) ([]string, error) {
 	want := len(ranks)
 	for d.doneCount[job] < want {
 		if d.abortErr != nil {
-			return nil, d.abortErr
+			return nil, d.takeAbort()
 		}
 		d.doneGate.Wait(p, "job "+job)
 	}
 	if d.abortErr != nil {
-		return nil, d.abortErr
+		return nil, d.takeAbort()
 	}
 	return d.hwReports[job], nil
 }
 
 // AbortJob makes a blocked Run return err instead of waiting for
 // completions that will never arrive. The watchdog calls it on death
-// detection; idempotent, and a no-op when no job is active.
+// detection; idempotent. With no job active the abort is recorded as
+// pending and the next Run returns it immediately — a death detected
+// mid-recovery (after the old job died, before the new one launched)
+// must re-enter detection/isolation, not vanish.
 func (d *Daemon) AbortJob(err error) {
-	if d.activeJob == "" || d.abortErr != nil {
+	if d.abortErr != nil {
 		return
 	}
 	d.abortErr = err
 	d.doneGate.Fire()
+}
+
+// Aborted returns the pending abort, if a death was detected since the
+// last Run reported one.
+func (d *Daemon) Aborted() error { return d.abortErr }
+
+// takeAbort consumes the pending abort: each detection is reported by
+// exactly one Run return.
+func (d *Daemon) takeAbort() error {
+	err := d.abortErr
+	d.abortErr = nil
+	return err
 }
 
 // Status queries one node's kernel over RPC.

@@ -86,6 +86,14 @@ func (e *AbortError) Error() string {
 	return fmt.Sprintf("qdaemon: job %s aborted: %s", e.Job, e.Rec)
 }
 
+// FalsePositiveRecord is one rejected death report: a node reported
+// dead whose liveness probe found it making progress.
+type FalsePositiveRecord struct {
+	Rank int
+	// At is when the probe rejected the report.
+	At event.Time
+}
+
 // Watchdog is the host's failure detector.
 type Watchdog struct {
 	d   *Daemon
@@ -95,18 +103,25 @@ type Watchdog struct {
 	lastLive []event.Time // last poll that observed progress
 	stale    []int
 	dead     []bool
+	suspect  []bool // externally filed death reports awaiting a probe
 
 	// Polls counts per-node poll rounds; PeekErrors counts side-network
 	// peeks that exhausted their retries (each also counts as a miss).
 	Polls      uint64
 	PeekErrors uint64
+	// Probes counts liveness re-checks run before isolation.
+	Probes uint64
 	// DetectHist is the distribution of detection latencies.
 	DetectHist telemetry.Histogram
 	// Failures is every detected death, in detection order.
 	Failures []FailureRecord
+	// FalsePositives is every rejected death report, in probe order.
+	FalsePositives []FalsePositiveRecord
 	// OnFailure, when set, observes each detection (after the partition
 	// map is updated and the active job aborted).
 	OnFailure func(FailureRecord)
+	// OnFalsePositive, when set, observes each rejected report.
+	OnFalsePositive func(FalsePositiveRecord)
 }
 
 // StartWatchdog arms the heartbeat watchdog. Heartbeats must be ticking
@@ -123,10 +138,13 @@ func (d *Daemon) StartWatchdog(cfg WatchdogConfig) *Watchdog {
 	w.lastLive = make([]event.Time, n)
 	w.stale = make([]int, n)
 	w.dead = make([]bool, n)
+	w.suspect = make([]bool, n)
 	d.wd = w
 	d.M.Reg.RegisterCounters("qdaemon/watchdog", func(emit telemetry.EmitFunc) {
 		emit("polls", w.Polls)
 		emit("peek_errors", w.PeekErrors)
+		emit("probes", w.Probes)
+		emit("false_positives", uint64(len(w.FalsePositives)))
 		emit("deaths", uint64(len(w.Failures)))
 		for _, f := range w.Failures {
 			emit(fmt.Sprintf("detect_latency_ps/node%d", f.Rank), uint64(f.DetectLatency))
@@ -172,9 +190,23 @@ func (w *Watchdog) loop(p *event.Proc) {
 	}
 }
 
+// Suspect files an external death report for a live-looking node — the
+// operator (or a fault plan) claiming rank is dead. The next poll runs
+// the liveness probe: a node making progress survives the report as a
+// recorded false positive; a genuinely dead one is isolated through the
+// normal path. Call from the watchdog's own (host) engine.
+func (w *Watchdog) Suspect(rank int) {
+	if rank < 0 || rank >= len(w.suspect) || w.dead[rank] {
+		return
+	}
+	w.suspect[rank] = true
+}
+
 // poll observes one node over the side network and applies the death
 // criteria.
 func (w *Watchdog) poll(p *event.Proc, r int) {
+	suspect := w.suspect[r]
+	w.suspect[r] = false
 	state, serr := w.d.peekWordOn(p, w.d.Mon, r, node.TelemetryAddr(node.TelemStateWord))
 	beat, berr := uint64(0), error(nil)
 	if serr == nil {
@@ -187,19 +219,55 @@ func (w *Watchdog) poll(p *event.Proc, r int) {
 		w.PeekErrors++
 		w.stale[r]++
 	case node.State(state) == node.Crashed:
+		// The lifecycle state is authoritative hardware — no probe.
 		w.declareDead(r, true, now)
 		return
 	case beat != w.lastBeat[r]:
 		w.lastBeat[r] = beat
 		w.lastLive[r] = now
 		w.stale[r] = 0
-		return
 	default:
 		w.stale[r]++
 	}
-	if w.stale[r] >= w.cfg.Misses {
-		w.declareDead(r, false, now)
+	if !suspect && w.stale[r] < w.cfg.Misses {
+		return
 	}
+	// Isolation gate: frozen-heartbeat convictions and external death
+	// reports both pass the JTAG liveness re-check before a board is
+	// pulled from the partition. Only hardware-attested crashes skip it.
+	dead, crashed := w.probe(p, r)
+	now = w.d.Eng.Now()
+	if !dead {
+		rec := FalsePositiveRecord{Rank: r, At: now}
+		w.FalsePositives = append(w.FalsePositives, rec)
+		w.stale[r] = 0
+		w.lastLive[r] = now
+		if w.OnFalsePositive != nil {
+			w.OnFalsePositive(rec)
+		}
+		return
+	}
+	w.declareDead(r, crashed, now)
+}
+
+// probe is the JTAG liveness re-check before isolation: re-read the
+// lifecycle state (a Crashed read is authoritative), then watch the
+// heartbeat across one poll period — progress refutes the report. All
+// waiting is sim-clock, so accept and reject runs stay bit-identical.
+func (w *Watchdog) probe(p *event.Proc, r int) (dead, crashed bool) {
+	w.Probes++
+	state, serr := w.d.peekWordOn(p, w.d.Mon, r, node.TelemetryAddr(node.TelemStateWord))
+	if serr == nil && node.State(state) == node.Crashed {
+		return true, true
+	}
+	beat0, b0err := w.d.peekWordOn(p, w.d.Mon, r, node.TelemetryAddr(node.TelemHeartbeatWord))
+	p.Sleep(w.cfg.Period)
+	beat1, b1err := w.d.peekWordOn(p, w.d.Mon, r, node.TelemetryAddr(node.TelemHeartbeatWord))
+	if b0err == nil && b1err == nil && beat1 != beat0 {
+		w.lastBeat[r] = beat1
+		return false, false
+	}
+	return true, false
 }
 
 func (w *Watchdog) declareDead(r int, crashed bool, now event.Time) {
